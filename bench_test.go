@@ -1,0 +1,318 @@
+package newton
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§V). Each BenchmarkFig* runs the corresponding experiment
+// at the paper's full configuration (24 channels x 16 banks, all eight
+// Table II layers) and reports the headline quantities as custom
+// metrics; run with -v to see the full rendered tables. The expected
+// paper values are recorded alongside the measured ones in
+// EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock per iteration is dominated by cycle-level simulation of
+// hundreds of thousands to millions of DRAM commands, so the harness
+// typically settles at N=1 per benchmark.
+
+import (
+	"testing"
+
+	"newton/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Default()
+}
+
+// BenchmarkTableII measures the simulator on the full Table II layer set
+// under full Newton: the per-layer cycle counts behind every figure.
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, sum, err := cfg.Fig8Layers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig8Layers(rows, sum))
+		}
+	}
+}
+
+// BenchmarkFig8Layers reports the left half of Fig. 8: geometric-mean
+// speedups over the GPU (paper: Newton 54x, Non-opt 1.48x, Ideal 5.4x)
+// and Newton's mean speedup over Ideal Non-PIM (paper: 10x).
+func BenchmarkFig8Layers(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, sum, err := cfg.Fig8Layers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Newton, "newton_x")
+		b.ReportMetric(sum.NonOpt, "nonopt_x")
+		b.ReportMetric(sum.Ideal, "ideal_x")
+		b.ReportMetric(sum.NewtonOverIdeal, "newton/ideal_x")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig8Layers(rows, sum))
+		}
+	}
+}
+
+// BenchmarkFig8EndToEnd reports the right half of Fig. 8: end-to-end
+// model speedups (paper: overall 20x; GNMT/BERT/DLRM mean 49x; DLRM 47x;
+// AlexNet 1.2x).
+func BenchmarkFig8EndToEnd(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, mean, err := cfg.Fig8EndToEnd()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean, "geomean_x")
+		for _, r := range rows {
+			b.ReportMetric(r.Speedup, r.Name+"_x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig8EndToEnd(rows, mean))
+		}
+	}
+}
+
+// BenchmarkFig9 reports the optimization-isolation study: the
+// geometric-mean speedup over the GPU at each cumulative design point
+// (paper: 1.48x rising to 54x, with ganging the largest step).
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, means, err := cfg.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, st := range experiments.Fig9Steps() {
+			b.ReportMetric(means[j], st.Label+"_x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig9(rows, means))
+		}
+	}
+}
+
+// BenchmarkFig10 reports bank-count sensitivity (paper: 28x/54x/96x at
+// 8/16/32 banks, sub-linear from the activation-overhead Amdahl term).
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, means, predicted, err := cfg.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, banks := range experiments.Fig10BankCounts {
+			b.ReportMetric(means[j], experiments.BankMetricName(banks))
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig10(rows, means, predicted))
+		}
+	}
+}
+
+// BenchmarkFig11 reports batch sensitivity against Ideal Non-PIM
+// (paper: near-parity at batch 8, Ideal 1.6x ahead at batch 16).
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the crossover of the first full-width layer.
+		b.ReportMetric(float64(rows[0].CrossoverBatch()), "ideal_crossover_batch")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderBatchRows(
+				"Fig. 11: batch-size sensitivity vs Ideal Non-PIM", "IdealNonPIM", rows))
+		}
+	}
+}
+
+// BenchmarkFig12 reports batch sensitivity against the GPU (paper:
+// crossover near batch 64).
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].CrossoverBatch()), "gpu_crossover_batch")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderBatchRows(
+				"Fig. 12: batch-size sensitivity vs GPU", "GPU", rows))
+		}
+	}
+}
+
+// BenchmarkFig13 reports the power study (paper: ~2.8x conventional DRAM
+// on average, with lower total energy than any non-PIM design).
+func BenchmarkFig13(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, mean, err := cfg.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean, "avg_power_x")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFig13(rows, mean))
+		}
+	}
+}
+
+// BenchmarkModelValidation reports the §III-F analytic model against the
+// simulator (paper: within 2%; ours within a few % for full-width
+// layers, with documented deviation on ragged DLRM).
+func BenchmarkModelValidation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.ModelValidation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows[:5] { // full-width layers
+			if e := r.ErrorPct; e < 0 {
+				e = -e
+				if e > worst {
+					worst = e
+				}
+			} else if e > worst {
+				worst = e
+			}
+		}
+		b.ReportMetric(worst, "worst_model_error_pct")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderModelValidation(rows))
+		}
+	}
+}
+
+// BenchmarkNoReuse reports the §III-C layout study: the slowdown of
+// Newton-no-reuse from its input re-fetch traffic.
+func BenchmarkNoReuse(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.NoReuse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sl []float64
+		for _, r := range rows {
+			sl = append(sl, r.Slowdown)
+		}
+		b.ReportMetric(experiments.GeoMean(sl), "noreuse_slowdown_x")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderNoReuse(rows))
+		}
+	}
+}
+
+// BenchmarkMatVecGNMT measures raw simulator throughput on one GNMT-s1
+// product: how long the host machine takes to simulate a 5.3 us Newton
+// operation.
+func BenchmarkMatVecGNMT(b *testing.B) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := RandomMatrix(4096, 1024, 1)
+	pm, err := sys.Load(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float32, 1024)
+	for i := range v {
+		v[i] = float32(i%7) / 7
+	}
+	b.ResetTimer()
+	var cmds int64
+	for i := 0; i < b.N; i++ {
+		_, st, err := sys.MatVec(pm, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmds = st.Commands
+	}
+	b.ReportMetric(float64(cmds), "dram_cmds/op")
+}
+
+// BenchmarkFamilies reports the §III-E family study: Newton's speedup
+// over each DRAM family's own ideal non-PIM bound, which must track the
+// §III-F model with that family's bank count and timing.
+func BenchmarkFamilies(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Families()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Speedup, string(r.Family)+"_x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderFamilies(rows))
+		}
+	}
+}
+
+// BenchmarkQuadLatch reports the §III-C intermediate design point next
+// to Newton and the no-reuse variant (paper: quad-latch is "virtually
+// similar" to Newton, so the extra latch area buys nothing).
+func BenchmarkQuadLatch(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.NoReuse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ql []float64
+		for _, r := range rows {
+			ql = append(ql, float64(r.QuadLatchCycles)/float64(r.NewtonCycles))
+		}
+		b.ReportMetric(experiments.GeoMean(ql), "quad/newton_x")
+	}
+}
+
+// BenchmarkMultiTenant reports the §III-D channel-partitioning study:
+// latency isolation for a small co-resident model.
+func BenchmarkMultiTenant(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := cfg.MultiTenant()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LatencyGain, "latency_isolation_x")
+		b.ReportMetric(r.BSlowdown, "big_model_cost_x")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderMultiTenant(r))
+		}
+	}
+}
+
+// BenchmarkChannelScaling reports the §V-C channel-scaling claim:
+// adding channels scales Newton's performance nearly linearly while its
+// advantage over the ideal host stays constant (no Amdahl tax).
+func BenchmarkChannelScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.ChannelScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Scaling, "scaling_at_48ch_x")
+		b.ReportMetric(last.SpeedupOverIdeal, "newton/ideal_at_48ch_x")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderChannelScaling(rows))
+		}
+	}
+}

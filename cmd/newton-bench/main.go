@@ -1,0 +1,167 @@
+// Command newton-bench regenerates the paper's evaluation figures
+// (Figs. 8-13) and the model-validation and layout studies, printing
+// each as a text table.
+//
+// Usage:
+//
+//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|all] [-channels N] [-banks N] [-functional]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"newton/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("newton-bench: ")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, or all")
+	channels := flag.Int("channels", 24, "memory channels")
+	banks := flag.Int("banks", 16, "banks per channel")
+	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
+	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
+	flag.Parse()
+	csv := *format == "csv"
+
+	cfg := experiments.Default()
+	cfg.Channels = *channels
+	cfg.Banks = *banks
+	cfg.Functional = *functional
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("8", func() error {
+		rows, sum, err := cfg.Fig8Layers()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVFig8Layers(rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderFig8Layers(rows, sum))
+		return nil
+	})
+	run("8e2e", func() error {
+		rows, mean, err := cfg.Fig8EndToEnd()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig8EndToEnd(rows, mean))
+		return nil
+	})
+	run("9", func() error {
+		rows, means, err := cfg.Fig9()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVFig9(rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderFig9(rows, means))
+		return nil
+	})
+	run("10", func() error {
+		rows, means, predicted, err := cfg.Fig10()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVFig10(rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderFig10(rows, means, predicted))
+		return nil
+	})
+	run("11", func() error {
+		rows, err := cfg.Fig11()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVBatchRows("ideal", rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderBatchRows("Fig. 11: batch-size sensitivity vs Ideal Non-PIM", "IdealNonPIM", rows))
+		return nil
+	})
+	run("12", func() error {
+		rows, err := cfg.Fig12()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVBatchRows("gpu", rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderBatchRows("Fig. 12: batch-size sensitivity vs GPU", "GPU", rows))
+		return nil
+	})
+	run("13", func() error {
+		rows, mean, err := cfg.Fig13()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVFig13(rows))
+			return nil
+		}
+		fmt.Println(experiments.RenderFig13(rows, mean))
+		return nil
+	})
+	run("model", func() error {
+		rows, err := cfg.ModelValidation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderModelValidation(rows))
+		return nil
+	})
+	run("channels", func() error {
+		rows, err := cfg.ChannelScaling()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderChannelScaling(rows))
+		return nil
+	})
+	run("multitenant", func() error {
+		r, err := cfg.MultiTenant()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMultiTenant(r))
+		return nil
+	})
+	run("families", func() error {
+		rows, err := cfg.Families()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFamilies(rows))
+		return nil
+	})
+	run("noreuse", func() error {
+		rows, err := cfg.NoReuse()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderNoReuse(rows))
+		return nil
+	})
+}

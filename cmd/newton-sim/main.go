@@ -1,0 +1,150 @@
+// Command newton-sim runs one matrix-vector product (or one end-to-end
+// model) on a configurable Newton system and reports timing, command
+// counts, bandwidth, and power.
+//
+// Usage:
+//
+//	newton-sim [-workload GNMT-s1 | -rows R -cols C | -model GNMT] \
+//	           [-variant newton|nonopt|noreuse] [-channels N] [-banks N] [-batch K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"newton"
+	"newton/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("newton-sim: ")
+	workload := flag.String("workload", "GNMT-s1", "Table II layer name (see -list)")
+	rows := flag.Int("rows", 0, "matrix rows (overrides -workload with -cols)")
+	cols := flag.Int("cols", 0, "matrix cols")
+	modelName := flag.String("model", "", "end-to-end model: GNMT, BERT, AlexNet, DLRM")
+	variant := flag.String("variant", "newton", "design point: newton, nonopt, noreuse")
+	channels := flag.Int("channels", 24, "memory channels")
+	banks := flag.Int("banks", 16, "banks per channel")
+	batch := flag.Int("batch", 1, "batch size (sequential inputs)")
+	list := flag.Bool("list", false, "list Table II workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workloads.TableII() {
+			fmt.Printf("%-12s %6d x %-6d (%d params)\n", b.Name, b.Rows, b.Cols, b.Params())
+		}
+		return
+	}
+
+	cfg := newton.DefaultConfig()
+	cfg.Channels = *channels
+	cfg.Banks = *banks
+	switch *variant {
+	case "newton":
+	case "nonopt":
+		cfg.Opts = newton.Optimizations{}
+	case "noreuse":
+		cfg.Opts = newton.AllOptimizations()
+		cfg.Opts.Reuse = false
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	sys, err := newton.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *modelName != "" {
+		runModel(sys, *modelName)
+		return
+	}
+
+	r, c := *rows, *cols
+	if r == 0 || c == 0 {
+		b, ok := workloads.ByName(*workload)
+		if !ok {
+			log.Fatalf("unknown workload %q (try -list)", *workload)
+		}
+		r, c = b.Rows, b.Cols
+	}
+
+	mat := newton.RandomMatrix(r, c, 1)
+	pm, err := sys.Load(mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := make([][]float32, *batch)
+	for k := range inputs {
+		v := make([]float32, c)
+		for i := range v {
+			v[i] = float32((i+k)%13)/13 - 0.5
+		}
+		inputs[k] = v
+	}
+	outs, st, err := sys.MatVecBatch(pm, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := mat.MulVecReference(inputs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	for i := range ref {
+		d := float64(outs[0][i] - ref[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	pw := sys.PowerOf(st)
+	fmt.Printf("workload:            %d x %d, batch %d, variant %s\n", r, c, *batch, *variant)
+	fmt.Printf("time:                %d cycles (%v)\n", st.Cycles, st.Duration())
+	fmt.Printf("commands:            %d (%d activations, %d refreshes)\n", st.Commands, st.Activations, st.Refreshes)
+	fmt.Printf("internal bandwidth:  %.1f GB/s consumed by PIM compute\n",
+		float64(st.InternalBytesRead)/float64(st.Cycles))
+	fmt.Printf("external traffic:    %d B read, %d B written\n", st.ExternalBytesRead, st.ExternalBytesWritten)
+	fmt.Printf("avg power:           %.2fx conventional DRAM (compute busy %.0f%%)\n",
+		pw.AvgPower, 100*pw.ComputeFraction)
+	fmt.Printf("max abs error vs fp32 reference: %.4f (bfloat16 datapath)\n", maxErr)
+}
+
+func runModel(sys *newton.System, name string) {
+	var spec newton.Model
+	switch name {
+	case "GNMT":
+		spec = newton.GNMTModel()
+	case "BERT":
+		spec = newton.BERTModel()
+	case "AlexNet":
+		spec = newton.AlexNetModel()
+	case "DLRM":
+		spec = newton.DLRMModel()
+	default:
+		log.Fatalf("unknown model %q", name)
+	}
+	pm, err := sys.LoadModel(spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := make([]float32, spec.InputWidth())
+	for i := range input {
+		input[i] = float32(i%11)/11 - 0.5
+	}
+	res, err := sys.RunModel(pm, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model:      %s (%d FC layers, %d params)\n", spec.Name, len(spec.Layers), spec.TotalParams())
+	fmt.Printf("time:       %d cycles end-to-end\n", res.Cycles)
+	fmt.Printf("refreshes:  %d\n", res.Refreshes)
+	var sum int64
+	for _, lc := range res.LayerCycles {
+		sum += lc
+	}
+	fmt.Printf("MV cycles:  %d (%.1f%% of end-to-end)\n", sum, 100*float64(sum)/float64(res.Cycles))
+}

@@ -1,0 +1,52 @@
+package newton
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+)
+
+// ByteRegion is ordinary (non-AiM) memory inside a Newton device: the
+// paper's AiM DRAM "can be used as normal memory and can hold non-AiM
+// data" (§III-A), sharing banks with matrices but never a DRAM row.
+// Accesses go through plain ACT/RD/WR command streams, cache-block
+// interleaved across the system's channels, and take simulated time
+// like everything else.
+type ByteRegion struct {
+	r *host.ConvRegion
+}
+
+// Bytes returns the region's capacity.
+func (r *ByteRegion) Bytes() int64 {
+	if r == nil || r.r == nil {
+		return 0
+	}
+	return r.r.Bytes()
+}
+
+// AllocBytes reserves at least n bytes of ordinary memory, carved from
+// the top of every bank's row space so it can never collide with loaded
+// matrices.
+func (s *System) AllocBytes(n int64) (*ByteRegion, error) {
+	r, err := s.ctrl.AllocConventional(n)
+	if err != nil {
+		return nil, err
+	}
+	return &ByteRegion{r: r}, nil
+}
+
+// WriteBytes stores data at the region offset.
+func (s *System) WriteBytes(r *ByteRegion, off int64, data []byte) error {
+	if r == nil || r.r == nil {
+		return fmt.Errorf("newton: WriteBytes on a nil region")
+	}
+	return s.ctrl.WriteConventional(r.r, off, data)
+}
+
+// ReadBytes loads n bytes from the region offset.
+func (s *System) ReadBytes(r *ByteRegion, off int64, n int) ([]byte, error) {
+	if r == nil || r.r == nil {
+		return nil, fmt.Errorf("newton: ReadBytes on a nil region")
+	}
+	return s.ctrl.ReadConventional(r.r, off, n)
+}

@@ -1,0 +1,72 @@
+// GNMT: end-to-end inference of the paper's neural machine translation
+// workload - eight stacked LSTM layers - on Newton, with activations
+// applied as results stream out and batch-normalization latency exposed
+// per layer exactly as §III-C describes. The same inference runs on the
+// ideal non-PIM baseline for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newton"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := newton.DefaultConfig()
+
+	spec := newton.GNMTModel()
+	fmt.Printf("model: %s - %d LSTM gate products, %d parameters (%d MB)\n",
+		spec.Name, len(spec.Layers), spec.TotalParams(), spec.TotalParams()*2/(1<<20))
+
+	sys, err := newton.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := sys.LoadModel(spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := make([]float32, spec.InputWidth())
+	for i := range input {
+		input[i] = float32(i%11)/11 - 0.5
+	}
+
+	res, err := sys.RunModel(pm, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("newton end-to-end:   %d ns (%d refresh interruptions)\n", res.Cycles, res.Refreshes)
+	for i, lc := range res.LayerCycles {
+		fmt.Printf("  %-6s %5d ns  (%dx%d)\n",
+			spec.Layers[i].Name, lc, spec.Layers[i].Rows, spec.Layers[i].Cols)
+	}
+
+	// The ideal non-PIM bound on the same inference.
+	base, err := newton.NewIdealBaseline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.SetFunctional(false)
+	bpm, err := base.LoadModel(spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bres, err := base.RunModel(bpm, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ideal non-PIM:       %d ns\n", bres.Cycles)
+	fmt.Printf("speedup:             %.2fx over the best any non-PIM design can do\n",
+		float64(bres.Cycles)/float64(res.Cycles))
+
+	// And against the modeled Titan V GPU, layer by layer.
+	g := newton.TitanV()
+	var gpu float64
+	for _, l := range spec.Layers {
+		gpu += g.LayerCycles(l.Rows, l.Cols)
+	}
+	fmt.Printf("modeled GPU:         %.0f ns -> %.0fx speedup\n", gpu, gpu/float64(res.Cycles))
+}

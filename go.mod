@@ -1,0 +1,3 @@
+module newton
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package addr models the physical address space of the simulated
+// memory system: the cache-block-interleaved mapping conventional
+// systems use so consecutive blocks land on adjacent channels (paper
+// §II-A), and the super-page reservations that give AiM matrices the
+// physical contiguity their layout expects (§III-E: "we use super pages
+// to allocate the matrix guaranteeing physical address contiguity").
+package addr
+
+import (
+	"fmt"
+
+	"newton/internal/dram"
+)
+
+// Location is a fully decoded physical address.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     int
+	Col     int
+	// Offset is the byte offset inside the column I/O block.
+	Offset int
+}
+
+// Mapper translates flat physical addresses to device coordinates with
+// cache-block interleaving: consecutive column-I/O-sized blocks map to
+// consecutive channels, then columns, then banks, then rows. Channel
+// counts need not be powers of two (the paper's system has 24).
+type Mapper struct {
+	geo dram.Geometry
+}
+
+// NewMapper builds a mapper for a geometry.
+func NewMapper(geo dram.Geometry) (*Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mapper{geo: geo}, nil
+}
+
+// BlockBytes is the interleaving granularity: one column I/O.
+func (m *Mapper) BlockBytes() int64 { return int64(m.geo.ColBytes()) }
+
+// Capacity returns the byte size of the address space.
+func (m *Mapper) Capacity() int64 {
+	return int64(m.geo.Channels) * int64(m.geo.Banks) *
+		int64(m.geo.Rows) * int64(m.geo.RowBytes())
+}
+
+// Decode maps a physical address to its device location.
+func (m *Mapper) Decode(pa int64) (Location, error) {
+	if pa < 0 || pa >= m.Capacity() {
+		return Location{}, fmt.Errorf("addr: address %#x outside capacity %#x", pa, m.Capacity())
+	}
+	g := m.geo
+	block := pa / m.BlockBytes()
+	loc := Location{Offset: int(pa % m.BlockBytes())}
+	loc.Channel = int(block % int64(g.Channels))
+	rest := block / int64(g.Channels)
+	loc.Col = int(rest % int64(g.Cols))
+	rest /= int64(g.Cols)
+	loc.Bank = int(rest % int64(g.Banks))
+	loc.Row = int(rest / int64(g.Banks))
+	return loc, nil
+}
+
+// Encode is the inverse of Decode.
+func (m *Mapper) Encode(loc Location) (int64, error) {
+	g := m.geo
+	switch {
+	case loc.Channel < 0 || loc.Channel >= g.Channels:
+		return 0, fmt.Errorf("addr: channel %d out of range", loc.Channel)
+	case loc.Bank < 0 || loc.Bank >= g.Banks:
+		return 0, fmt.Errorf("addr: bank %d out of range", loc.Bank)
+	case loc.Row < 0 || loc.Row >= g.Rows:
+		return 0, fmt.Errorf("addr: row %d out of range", loc.Row)
+	case loc.Col < 0 || loc.Col >= g.Cols:
+		return 0, fmt.Errorf("addr: column %d out of range", loc.Col)
+	case loc.Offset < 0 || loc.Offset >= int(m.BlockBytes()):
+		return 0, fmt.Errorf("addr: offset %d out of range", loc.Offset)
+	}
+	block := (int64(loc.Row)*int64(g.Banks)+int64(loc.Bank))*int64(g.Cols) + int64(loc.Col)
+	block = block*int64(g.Channels) + int64(loc.Channel)
+	return block*m.BlockBytes() + int64(loc.Offset), nil
+}
+
+// SuperPageRows returns how many DRAM rows per bank one super page
+// spans: the unit in which AiM matrices are reserved so their layout
+// sees contiguous physical rows.
+const SuperPageRows = 16
+
+// RowAllocator hands out per-bank DRAM row spans from a shared row
+// space, growing AiM reservations up from row 0 and conventional
+// reservations down from the top. The two regions never meet a row:
+// AiM and non-AiM data may share a bank but never a DRAM row (§III-A).
+type RowAllocator struct {
+	rows     int // total rows per bank
+	aimNext  int // first free row for AiM data
+	convNext int // one past the last free row for conventional data
+}
+
+// NewRowAllocator covers rows [0, rows).
+func NewRowAllocator(rows int) *RowAllocator {
+	return &RowAllocator{rows: rows, convNext: rows}
+}
+
+// AllocAiM reserves n rows per bank for AiM data, rounded up to whole
+// super pages, and returns the base row.
+func (a *RowAllocator) AllocAiM(n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("addr: AiM reservation of %d rows", n)
+	}
+	n = (n + SuperPageRows - 1) / SuperPageRows * SuperPageRows
+	if a.aimNext+n > a.convNext {
+		return 0, fmt.Errorf("addr: AiM reservation of %d rows exceeds free space (%d rows left)",
+			n, a.convNext-a.aimNext)
+	}
+	base := a.aimNext
+	a.aimNext += n
+	return base, nil
+}
+
+// AllocConventional reserves n rows per bank for non-AiM data, returned
+// as the base row of the span.
+func (a *RowAllocator) AllocConventional(n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("addr: conventional reservation of %d rows", n)
+	}
+	if a.convNext-n < a.aimNext {
+		return 0, fmt.Errorf("addr: conventional reservation of %d rows exceeds free space (%d rows left)",
+			n, a.convNext-a.aimNext)
+	}
+	a.convNext -= n
+	return a.convNext, nil
+}
+
+// FreeRows returns how many rows per bank remain unreserved.
+func (a *RowAllocator) FreeRows() int { return a.convNext - a.aimNext }
+
+// AiMRows returns the extent of the AiM region [0, n).
+func (a *RowAllocator) AiMRows() int { return a.aimNext }

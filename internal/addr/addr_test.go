@@ -1,0 +1,136 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newton/internal/dram"
+)
+
+func testMapper(t *testing.T, channels int) *Mapper {
+	t.Helper()
+	g := dram.HBM2EGeometry(channels)
+	g.Rows = 128
+	m, err := NewMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDecodeEncodeRoundTripProperty(t *testing.T) {
+	// 24 channels: deliberately not a power of two, like the paper's
+	// evaluation system.
+	m := testMapper(t, 24)
+	f := func(raw uint64) bool {
+		pa := int64(raw % uint64(m.Capacity()))
+		loc, err := m.Decode(pa)
+		if err != nil {
+			return false
+		}
+		back, err := m.Encode(loc)
+		return err == nil && back == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockInterleavingAcrossChannels(t *testing.T) {
+	// Consecutive cache blocks map to consecutive channels (§II-A).
+	m := testMapper(t, 4)
+	for i := int64(0); i < 8; i++ {
+		loc, err := m.Decode(i * m.BlockBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Channel != int(i%4) {
+			t.Errorf("block %d on channel %d, want %d", i, loc.Channel, i%4)
+		}
+		if loc.Offset != 0 {
+			t.Errorf("block %d offset %d", i, loc.Offset)
+		}
+	}
+	// Bytes within one block stay in one location.
+	a, _ := m.Decode(5)
+	b, _ := m.Decode(0)
+	if a.Channel != b.Channel || a.Col != b.Col || a.Offset != 5 {
+		t.Error("intra-block bytes scattered")
+	}
+}
+
+func TestDecodeBounds(t *testing.T) {
+	m := testMapper(t, 2)
+	if _, err := m.Decode(-1); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, err := m.Decode(m.Capacity()); err == nil {
+		t.Error("address at capacity accepted")
+	}
+	if _, err := m.Decode(m.Capacity() - 1); err != nil {
+		t.Error("last byte rejected")
+	}
+}
+
+func TestEncodeBounds(t *testing.T) {
+	m := testMapper(t, 2)
+	bad := []Location{
+		{Channel: -1}, {Channel: 2}, {Bank: 99}, {Row: -1},
+		{Row: 128}, {Col: 32}, {Offset: 32}, {Offset: -1},
+	}
+	for _, loc := range bad {
+		if _, err := m.Encode(loc); err == nil {
+			t.Errorf("invalid location %+v accepted", loc)
+		}
+	}
+}
+
+func TestRowAllocatorRegionsNeverOverlap(t *testing.T) {
+	a := NewRowAllocator(256)
+	aim1, err := a.AllocAiM(10) // rounds to 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aim1 != 0 {
+		t.Errorf("first AiM base = %d", aim1)
+	}
+	aim2, err := a.AllocAiM(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aim2 != 16 {
+		t.Errorf("second AiM base = %d (super-page rounding broken)", aim2)
+	}
+	conv, err := a.AllocConventional(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv != 256-32 {
+		t.Errorf("conventional base = %d", conv)
+	}
+	if a.FreeRows() != 256-32-32 {
+		t.Errorf("FreeRows = %d", a.FreeRows())
+	}
+	if a.AiMRows() != 32 {
+		t.Errorf("AiMRows = %d", a.AiMRows())
+	}
+}
+
+func TestRowAllocatorExhaustion(t *testing.T) {
+	a := NewRowAllocator(32)
+	if _, err := a.AllocAiM(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocConventional(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocAiM(1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := a.AllocConventional(1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := a.AllocAiM(0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package aim
+
+import (
+	"fmt"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+)
+
+// AllBanks addresses every bank of the channel in a ganged COLRD or MAC
+// command (used when the "gang" optimization is on but "complex" is off).
+const AllBanks = -1
+
+// Engine executes Newton's AiM command set on one DRAM channel. It owns
+// the channel's compute state: the global input buffer, one MAC unit per
+// bank, the activation LUT, and the small holding registers that the
+// de-optimized three-step command sequence (BCAST / COLRD / MAC) needs.
+type Engine struct {
+	ch   *dram.Channel
+	gbuf *GlobalBuffer
+	macs []*MACUnit
+	lut  *LUT
+
+	// pendingInput is the sub-chunk latched by the last BCAST, feeding
+	// subsequent MAC commands in the de-optimized sequence.
+	pendingInput bf16.Vector
+	// pendingFilter holds, per bank, the filter sub-chunk latched by the
+	// last COLRD to that bank.
+	pendingFilter []bf16.Vector
+	// filterScratch is per-bank decode space for the COMP fast path.
+	filterScratch []bf16.Vector
+}
+
+// NewEngine wraps a channel with Newton's compute datapath: one result
+// latch per bank, as the shipped design has.
+func NewEngine(ch *dram.Channel) *Engine { return NewEngineWithLatches(ch, 1) }
+
+// NewEngineWithLatches builds the datapath with several result latches
+// per bank, the SIII-C quad-latch design point.
+func NewEngineWithLatches(ch *dram.Channel, latches int) *Engine {
+	geo := ch.Config().Geometry
+	e := &Engine{
+		ch:            ch,
+		gbuf:          NewGlobalBuffer(geo.Cols, geo.ColBits),
+		macs:          make([]*MACUnit, geo.Banks),
+		pendingFilter: make([]bf16.Vector, geo.Banks),
+		filterScratch: make([]bf16.Vector, geo.Banks),
+	}
+	for i := range e.macs {
+		e.macs[i] = NewMACUnitWithLatches(geo.ColBits/16, latches)
+		e.filterScratch[i] = make(bf16.Vector, geo.ColBits/16)
+	}
+	return e
+}
+
+// Channel returns the underlying DRAM channel.
+func (e *Engine) Channel() *dram.Channel { return e.ch }
+
+// GlobalBuffer returns the channel's input-vector buffer.
+func (e *Engine) GlobalBuffer() *GlobalBuffer { return e.gbuf }
+
+// MAC returns bank b's MAC unit.
+func (e *Engine) MAC(b int) *MACUnit { return e.macs[b] }
+
+// SetLUT installs the per-channel activation look-up table (nil disables
+// in-DRAM activation; the default Newton schedule applies activations on
+// the host).
+func (e *Engine) SetLUT(l *LUT) { e.lut = l }
+
+// chCmd maps an AiM command to the channel-level command whose timing
+// and bank effects it has: a ganged COLRD performs a COMP-style all-bank
+// column access (without touching the global buffer).
+func (e *Engine) chCmd(cmd dram.Command) dram.Command {
+	if cmd.Kind == dram.KindCOLRD && cmd.Bank == AllBanks {
+		cmd.Kind = dram.KindCOMP
+		cmd.Bank = 0
+	}
+	return cmd
+}
+
+// EarliestIssue forwards to the channel's timing checker; AiM compute
+// state imposes no additional issue-time constraints except for READRES,
+// which must wait for every adder-tree pipeline to drain.
+func (e *Engine) EarliestIssue(cmd dram.Command, from int64) int64 {
+	earliest := e.ch.EarliestIssue(e.chCmd(cmd), from)
+	if cmd.Kind == dram.KindREADRES {
+		for _, m := range e.macs {
+			if r := m.ReadyAt(); r > earliest {
+				earliest = r
+			}
+		}
+	}
+	return earliest
+}
+
+// Result carries the outcome of an issued command.
+type Result struct {
+	// DataReady is when returned data is valid on the bus.
+	DataReady int64
+	// Data is RD column data.
+	Data []byte
+	// Results is the concatenated bank result latches from READRES
+	// (index = bank), after LUT activation when a LUT is installed.
+	Results bf16.Vector
+}
+
+// Issue executes cmd at the given cycle: the channel checks timing and
+// performs bank effects, then the engine applies compute semantics.
+func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
+	if cmd.Kind == dram.KindREADRES {
+		// The host must have inserted the adder-tree drain delay.
+		if earliest := e.EarliestIssue(cmd, cycle); earliest > cycle {
+			return Result{}, &dram.Error{Cmd: cmd, Cycle: cycle, Earliest: earliest,
+				Reason: "READRES before adder-tree pipelines drained"}
+		}
+	}
+	res, err := e.ch.Issue(e.chCmd(cmd), cycle)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{DataReady: res.DataReady, Data: res.Data}
+
+	t := e.ch.Config().Timing
+	switch cmd.Kind {
+	case dram.KindGWRITE:
+		if err := e.gbuf.WriteSlot(cmd.Col, cmd.Data); err != nil {
+			return Result{}, err
+		}
+
+	case dram.KindCOMP:
+		input, err := e.gbuf.SubChunkView(cmd.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		for b, m := range e.macs {
+			filter := e.filterScratch[b]
+			bf16.DecodeInto(filter, res.BankData[b])
+			if err := m.AccumulateLatch(cmd.Latch, filter, input, cycle, t.TMAC); err != nil {
+				return Result{}, err
+			}
+		}
+
+	case dram.KindCOMPBank:
+		input, err := e.gbuf.SubChunkView(cmd.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		filter := e.filterScratch[cmd.Bank]
+		bf16.DecodeInto(filter, res.BankData[cmd.Bank])
+		if err := e.macs[cmd.Bank].AccumulateLatch(cmd.Latch, filter, input, cycle, t.TMAC); err != nil {
+			return Result{}, err
+		}
+
+	case dram.KindBCAST:
+		input, err := e.gbuf.SubChunk(cmd.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		e.pendingInput = input
+
+	case dram.KindCOLRD:
+		if cmd.Bank == AllBanks {
+			for b := range e.pendingFilter {
+				filter, err := bf16.VectorFromBytes(res.BankData[b])
+				if err != nil {
+					return Result{}, err
+				}
+				e.pendingFilter[b] = filter
+			}
+		} else {
+			filter, err := bf16.VectorFromBytes(res.BankData[cmd.Bank])
+			if err != nil {
+				return Result{}, err
+			}
+			e.pendingFilter[cmd.Bank] = filter
+		}
+
+	case dram.KindMAC:
+		if e.pendingInput == nil {
+			return Result{}, fmt.Errorf("aim: MAC with no broadcast input latched")
+		}
+		apply := func(b int) error {
+			if e.pendingFilter[b] == nil {
+				return fmt.Errorf("aim: MAC in bank %d with no filter sub-chunk latched", b)
+			}
+			return e.macs[b].AccumulateLatch(cmd.Latch, e.pendingFilter[b], e.pendingInput, cycle, t.TMAC)
+		}
+		if cmd.Bank == AllBanks {
+			for b := range e.macs {
+				if err := apply(b); err != nil {
+					return Result{}, err
+				}
+			}
+		} else if err := apply(cmd.Bank); err != nil {
+			return Result{}, err
+		}
+
+	case dram.KindREADRES:
+		results := make(bf16.Vector, len(e.macs))
+		for b, m := range e.macs {
+			results[b] = m.ResultLatch(cmd.Latch)
+			m.ResetLatch(cmd.Latch)
+		}
+		if e.lut != nil {
+			results = e.lut.ApplyVector(results)
+		}
+		out.Results = results
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+// Package aim implements Newton's accelerator-in-memory datapath on top
+// of the dram package: the per-channel global input-vector buffer, the
+// per-bank multiply-accumulate units (16 bfloat16 multipliers feeding a
+// pipelined adder tree and a single result latch), the per-channel
+// activation look-up table, and the execution semantics of the AiM
+// command set (GWRITE, G_ACT, COMP, READRES and their de-optimized
+// expansions).
+//
+// The Engine type wraps a dram.Channel: conventional commands pass
+// through, AiM commands additionally drive the compute datapath with
+// functionally correct bfloat16 arithmetic, so a simulated matrix-vector
+// product returns real numbers that tests check against a reference.
+package aim
+
+import (
+	"fmt"
+
+	"newton/internal/bf16"
+)
+
+// GlobalBuffer is the channel-wide input-vector buffer: one DRAM row wide
+// (paper §III-B), loaded one column-I/O slot at a time by GWRITE, and
+// read one sub-chunk at a time by COMP/BCAST with a fan-out broadcast to
+// every bank's multiplier inputs.
+//
+// Sharing one buffer across all banks of the channel is the paper's
+// "non-intuitive" area amortization: full input reuse without a per-bank
+// row-wide buffer.
+type GlobalBuffer struct {
+	slots    int // column I/Os per row
+	laneBits int
+	data     []bf16.Num // slots * lanes elements
+	valid    []bool     // per-slot valid bits
+}
+
+// NewGlobalBuffer returns a buffer with the given number of column-I/O
+// slots, each colBits wide.
+func NewGlobalBuffer(slots, colBits int) *GlobalBuffer {
+	lanes := colBits / 16
+	return &GlobalBuffer{
+		slots:    slots,
+		laneBits: colBits,
+		data:     make([]bf16.Num, slots*lanes),
+		valid:    make([]bool, slots),
+	}
+}
+
+// Slots returns the number of column-I/O slots.
+func (g *GlobalBuffer) Slots() int { return g.slots }
+
+// Lanes returns the number of bfloat16 elements per slot.
+func (g *GlobalBuffer) Lanes() int { return g.laneBits / 16 }
+
+// WriteSlot stores one column I/O of input-vector data (a GWRITE).
+func (g *GlobalBuffer) WriteSlot(slot int, data []byte) error {
+	if slot < 0 || slot >= g.slots {
+		return fmt.Errorf("aim: global buffer slot %d out of range [0,%d)", slot, g.slots)
+	}
+	if len(data) != g.laneBits/8 {
+		return fmt.Errorf("aim: GWRITE payload is %d bytes, slot is %d", len(data), g.laneBits/8)
+	}
+	v, err := bf16.VectorFromBytes(data)
+	if err != nil {
+		return err
+	}
+	copy(g.data[slot*g.Lanes():], v)
+	g.valid[slot] = true
+	return nil
+}
+
+// SubChunk returns a copy of the sub-chunk (one slot's worth of input
+// elements) broadcast to the banks by a COMP or BCAST command.
+func (g *GlobalBuffer) SubChunk(slot int) (bf16.Vector, error) {
+	view, err := g.SubChunkView(slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make(bf16.Vector, len(view))
+	copy(out, view)
+	return out, nil
+}
+
+// SubChunkView returns the sub-chunk without copying - the broadcast
+// fan-out wires, in effect. Callers must not write through it, and it is
+// stale after the slot's next GWRITE.
+func (g *GlobalBuffer) SubChunkView(slot int) (bf16.Vector, error) {
+	if slot < 0 || slot >= g.slots {
+		return nil, fmt.Errorf("aim: global buffer slot %d out of range [0,%d)", slot, g.slots)
+	}
+	if !g.valid[slot] {
+		return nil, fmt.Errorf("aim: global buffer slot %d read before being written", slot)
+	}
+	lanes := g.Lanes()
+	return g.data[slot*lanes : (slot+1)*lanes], nil
+}
+
+// Invalidate marks every slot stale, as when a new input-vector chunk is
+// about to be loaded.
+func (g *GlobalBuffer) Invalidate() {
+	for i := range g.valid {
+		g.valid[i] = false
+	}
+}

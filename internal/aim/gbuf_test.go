@@ -1,0 +1,75 @@
+package aim
+
+import (
+	"testing"
+
+	"newton/internal/bf16"
+)
+
+func TestGlobalBufferWriteRead(t *testing.T) {
+	g := NewGlobalBuffer(32, 256)
+	if g.Slots() != 32 || g.Lanes() != 16 {
+		t.Fatalf("slots=%d lanes=%d", g.Slots(), g.Lanes())
+	}
+	v := make(bf16.Vector, 16)
+	for i := range v {
+		v[i] = bf16.FromFloat32(float32(i))
+	}
+	if err := g.WriteSlot(5, v.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.SubChunk(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("lane %d: %v != %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestGlobalBufferErrors(t *testing.T) {
+	g := NewGlobalBuffer(4, 256)
+	if err := g.WriteSlot(-1, make([]byte, 32)); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if err := g.WriteSlot(4, make([]byte, 32)); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := g.WriteSlot(0, make([]byte, 31)); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := g.SubChunk(9); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := g.SubChunk(1); err == nil {
+		t.Error("read of never-written slot accepted")
+	}
+}
+
+func TestGlobalBufferInvalidate(t *testing.T) {
+	g := NewGlobalBuffer(2, 256)
+	if err := g.WriteSlot(0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	g.Invalidate()
+	if _, err := g.SubChunk(0); err == nil {
+		t.Error("stale slot readable after Invalidate")
+	}
+}
+
+func TestGlobalBufferReturnsCopy(t *testing.T) {
+	g := NewGlobalBuffer(2, 256)
+	v := make(bf16.Vector, 16)
+	v[0] = bf16.FromFloat32(7)
+	if err := g.WriteSlot(0, v.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.SubChunk(0)
+	got[0] = bf16.FromFloat32(99)
+	again, _ := g.SubChunk(0)
+	if again[0].Float32() != 7 {
+		t.Error("SubChunk exposed internal storage")
+	}
+}

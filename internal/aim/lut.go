@@ -1,0 +1,40 @@
+package aim
+
+import "newton/internal/bf16"
+
+// LUT is the per-channel neural-activation look-up table used by the
+// Newton-no-reuse variant, where activations must be applied inside the
+// DRAM before results are read out (paper §III-C: "the neural network
+// activation functions are implemented as look-up tables. Newton employs
+// a single look up table per channel"). Because bfloat16 has only 2^16
+// encodings, the table is exact for any scalar function.
+type LUT struct {
+	name  string
+	table [1 << 16]bf16.Num
+}
+
+// NewLUT builds a table for f evaluated at every bfloat16 value.
+func NewLUT(name string, f func(float32) float32) *LUT {
+	l := &LUT{name: name}
+	for i := 0; i < 1<<16; i++ {
+		in := bf16.FromBits(uint16(i))
+		l.table[i] = bf16.FromFloat32(f(in.Float32()))
+	}
+	return l
+}
+
+// Name returns the activation's name (e.g. "relu").
+func (l *LUT) Name() string { return l.name }
+
+// Apply looks up one value.
+func (l *LUT) Apply(x bf16.Num) bf16.Num { return l.table[x.Bits()] }
+
+// ApplyVector looks up each element; the paper's table is "conceptually
+// multi-ported" so all banks' results can be translated in parallel.
+func (l *LUT) ApplyVector(v bf16.Vector) bf16.Vector {
+	out := make(bf16.Vector, len(v))
+	for i, x := range v {
+		out[i] = l.table[x.Bits()]
+	}
+	return out
+}

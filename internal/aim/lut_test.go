@@ -1,0 +1,45 @@
+package aim
+
+import (
+	"testing"
+
+	"newton/internal/bf16"
+)
+
+func TestLUTExactForAllEncodings(t *testing.T) {
+	relu := func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	l := NewLUT("relu", relu)
+	if l.Name() != "relu" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	// bfloat16 has only 65536 encodings, so the table can be checked
+	// exhaustively against direct evaluation.
+	for i := 0; i < 1<<16; i++ {
+		in := bf16.FromBits(uint16(i))
+		want := bf16.FromFloat32(relu(in.Float32()))
+		if got := l.Apply(in); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("Apply(%#04x) = %#04x, want %#04x", i, got.Bits(), want.Bits())
+		}
+	}
+}
+
+func TestLUTApplyVector(t *testing.T) {
+	l := NewLUT("neg", func(x float32) float32 { return -x })
+	in := bf16.FromFloat32Slice([]float32{1, -2, 3})
+	out := l.ApplyVector(in)
+	want := []float32{-1, 2, -3}
+	for i := range want {
+		if out[i].Float32() != want[i] {
+			t.Errorf("lane %d = %v, want %v", i, out[i].Float32(), want[i])
+		}
+	}
+	// Input must be untouched.
+	if in[0].Float32() != 1 {
+		t.Error("ApplyVector mutated input")
+	}
+}

@@ -1,0 +1,158 @@
+package aim
+
+import (
+	"fmt"
+
+	"newton/internal/bf16"
+)
+
+// MACUnit is one bank's compute: k bfloat16 multipliers rate-matched to
+// the bank's column-access width, a pipelined adder tree reducing the k
+// products to one sum, and a single scalar result latch that accumulates
+// across column accesses (paper Fig. 4). One latch per bank suffices
+// because the DRAM-row-wide interleaved layout keeps each bank working on
+// a single output element for an entire DRAM row.
+type MACUnit struct {
+	lanes int
+
+	// latches and hasValue track one or more accumulators. Newton proper
+	// has exactly one; the §III-C intermediate design point gives each
+	// bank four so the input vector is reused among four matrix rows at
+	// the cost of the extra latch area (the paper evaluated and rejected
+	// it - "the former performs virtually similarly to the latter").
+	latches  []bf16.Num
+	hasValue []bool
+
+	// scratch holds the lane products during one Accumulate, reused
+	// across calls so the compute stream allocates nothing.
+	scratch bf16.Vector
+
+	// readyAt is the cycle at which the adder-tree pipeline has drained
+	// into the latch. READRES before this cycle is a datapath hazard; the
+	// host memory controller must insert the delay (paper §III-D, timing
+	// issue 2).
+	readyAt int64
+}
+
+// NewMACUnit returns a MAC unit with the given number of multiplier
+// lanes (16 in the paper's configuration) and a single result latch.
+func NewMACUnit(lanes int) *MACUnit { return NewMACUnitWithLatches(lanes, 1) }
+
+// NewMACUnitWithLatches returns a MAC unit with several result latches,
+// for the §III-C quad-latch design point.
+func NewMACUnitWithLatches(lanes, latches int) *MACUnit {
+	if latches < 1 {
+		latches = 1
+	}
+	return &MACUnit{
+		lanes:    lanes,
+		latches:  make([]bf16.Num, latches),
+		hasValue: make([]bool, latches),
+		scratch:  make(bf16.Vector, lanes),
+	}
+}
+
+// Lanes returns the number of multipliers.
+func (m *MACUnit) Lanes() int { return m.lanes }
+
+// Latches returns the number of result latches.
+func (m *MACUnit) Latches() int { return len(m.latches) }
+
+// TreeReduce models the pipelined adder tree: pairwise bfloat16
+// additions, log2(k) levels, exactly as a hardware tree of bf16 adders
+// would round. The slice length must equal the lane count and be a power
+// of two for a physical tree; odd tails are handled by promoting the
+// unpaired element, which matches a tree with a bypass lane.
+func TreeReduce(products bf16.Vector) bf16.Num {
+	if len(products) == 0 {
+		return bf16.Zero
+	}
+	level := make(bf16.Vector, len(products))
+	copy(level, products)
+	return treeReduceInPlace(level)
+}
+
+// treeReduceInPlace performs TreeReduce's reduction destructively on v,
+// the allocation-free path used by the MAC units. The pairing order is
+// identical to TreeReduce's, which the tests assert.
+func treeReduceInPlace(v bf16.Vector) bf16.Num {
+	n := len(v)
+	for n > 1 {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			v[i] = bf16.Add(v[2*i], v[2*i+1])
+		}
+		if n%2 == 1 {
+			v[half] = v[n-1]
+			n = half + 1
+		} else {
+			n = half
+		}
+	}
+	return v[0]
+}
+
+// Accumulate performs one compute step into latch 0: multiply the filter
+// sub-chunk by the input sub-chunk lane-wise, reduce through the adder
+// tree, and add into the result latch. cycle is the issue cycle of the
+// triggering COMP and tmac the pipeline completion latency; the latch is
+// valid at cycle+tmac.
+func (m *MACUnit) Accumulate(filter, input bf16.Vector, cycle, tmac int64) error {
+	return m.AccumulateLatch(0, filter, input, cycle, tmac)
+}
+
+// AccumulateLatch is Accumulate targeting one of several result latches.
+func (m *MACUnit) AccumulateLatch(latch int, filter, input bf16.Vector, cycle, tmac int64) error {
+	if latch < 0 || latch >= len(m.latches) {
+		return fmt.Errorf("aim: latch %d out of range [0,%d)", latch, len(m.latches))
+	}
+	if len(filter) != m.lanes || len(input) != m.lanes {
+		return fmt.Errorf("aim: MAC operand widths %d/%d, unit has %d lanes",
+			len(filter), len(input), m.lanes)
+	}
+	for i := range m.scratch {
+		m.scratch[i] = bf16.Mul(filter[i], input[i])
+	}
+	sum := treeReduceInPlace(m.scratch)
+	if m.hasValue[latch] {
+		m.latches[latch] = bf16.Add(m.latches[latch], sum)
+	} else {
+		m.latches[latch] = sum
+		m.hasValue[latch] = true
+	}
+	if done := cycle + tmac; done > m.readyAt {
+		m.readyAt = done
+	}
+	return nil
+}
+
+// Result returns latch 0's value and the cycle from which it is valid.
+func (m *MACUnit) Result() (bf16.Num, int64) { return m.latches[0], m.readyAt }
+
+// ResultLatch returns one latch's value.
+func (m *MACUnit) ResultLatch(latch int) bf16.Num {
+	if latch < 0 || latch >= len(m.latches) {
+		return bf16.Zero
+	}
+	return m.latches[latch]
+}
+
+// ReadyAt returns the cycle at which the pipeline has drained.
+func (m *MACUnit) ReadyAt() int64 { return m.readyAt }
+
+// Reset clears all latches. Hardware clears a latch as a side effect of
+// READRES; the engine uses ResetLatch then.
+func (m *MACUnit) Reset() {
+	for i := range m.latches {
+		m.ResetLatch(i)
+	}
+}
+
+// ResetLatch clears one latch.
+func (m *MACUnit) ResetLatch(latch int) {
+	if latch < 0 || latch >= len(m.latches) {
+		return
+	}
+	m.latches[latch] = bf16.Zero
+	m.hasValue[latch] = false
+}

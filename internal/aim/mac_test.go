@@ -1,0 +1,119 @@
+package aim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"newton/internal/bf16"
+)
+
+func TestTreeReduceExactOrder(t *testing.T) {
+	// The tree must reduce pairwise: ((a+b)+(c+d)) etc., exactly.
+	vals := bf16.FromFloat32Slice([]float32{1, 2, 3, 4})
+	want := bf16.Add(bf16.Add(vals[0], vals[1]), bf16.Add(vals[2], vals[3]))
+	if got := TreeReduce(vals); got != want {
+		t.Errorf("tree = %v, want %v", got.Float32(), want.Float32())
+	}
+}
+
+func TestTreeReduceSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 31} {
+		vals := make(bf16.Vector, n)
+		for i := range vals {
+			vals[i] = bf16.FromFloat32(1)
+		}
+		got := TreeReduce(vals).Float32()
+		if n == 0 {
+			if got != 0 {
+				t.Errorf("empty tree = %v", got)
+			}
+			continue
+		}
+		if got != float32(n) {
+			t.Errorf("sum of %d ones = %v", n, got)
+		}
+	}
+}
+
+func TestTreeReduceCloseToFloat32(t *testing.T) {
+	// Property: the bf16 tree sum of 16 lanes is within a few bf16 ULPs
+	// of the float32 sum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make(bf16.Vector, 16)
+		var exact float64
+		for i := range vals {
+			vals[i] = bf16.FromFloat32(rng.Float32()*2 - 1)
+			exact += vals[i].Float64()
+		}
+		got := TreeReduce(vals).Float64()
+		diff := got - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		// 4 tree levels, each rounding at most 2^-8 relative of ~4
+		// magnitude: comfortably under 0.25 absolute here.
+		return diff < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACAccumulate(t *testing.T) {
+	m := NewMACUnit(16)
+	filter := make(bf16.Vector, 16)
+	input := make(bf16.Vector, 16)
+	for i := range filter {
+		filter[i] = bf16.FromFloat32(1)
+		input[i] = bf16.FromFloat32(2)
+	}
+	if err := m.Accumulate(filter, input, 100, 12); err != nil {
+		t.Fatal(err)
+	}
+	if v, ready := m.Result(); v.Float32() != 32 || ready != 112 {
+		t.Errorf("latch = %v at %d, want 32 at 112", v.Float32(), ready)
+	}
+	// Second accumulation adds into the latch.
+	if err := m.Accumulate(filter, input, 104, 12); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Result(); v.Float32() != 64 {
+		t.Errorf("latch = %v, want 64", v.Float32())
+	}
+	if m.ReadyAt() != 116 {
+		t.Errorf("ReadyAt = %d, want 116", m.ReadyAt())
+	}
+	m.Reset()
+	if v, _ := m.Result(); !v.IsZero() {
+		t.Error("Reset did not clear latch")
+	}
+}
+
+func TestMACWidthMismatch(t *testing.T) {
+	m := NewMACUnit(16)
+	if err := m.Accumulate(make(bf16.Vector, 8), make(bf16.Vector, 16), 0, 1); err == nil {
+		t.Error("narrow filter accepted")
+	}
+	if err := m.Accumulate(make(bf16.Vector, 16), make(bf16.Vector, 8), 0, 1); err == nil {
+		t.Error("narrow input accepted")
+	}
+	if m.Lanes() != 16 {
+		t.Errorf("Lanes = %d", m.Lanes())
+	}
+}
+
+func TestMACFirstAccumulateReplacesZero(t *testing.T) {
+	// The first accumulation must not add to a stale -0 or similar: the
+	// latch starts logically empty.
+	m := NewMACUnit(2)
+	filter := bf16.FromFloat32Slice([]float32{-1, 0})
+	input := bf16.FromFloat32Slice([]float32{1, 0})
+	if err := m.Accumulate(filter, input, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Result(); v.Float32() != -1 {
+		t.Errorf("latch = %v, want -1", v.Float32())
+	}
+}

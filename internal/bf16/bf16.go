@@ -1,0 +1,120 @@
+// Package bf16 implements bfloat16 ("brain floating point") arithmetic.
+//
+// Newton's datapath operates on 16-bit floating-point values (the paper
+// stipulates 16-bit floats because recommendation systems need accuracy;
+// Table III describes 256-bit column I/Os as "16 bfloat16"). bfloat16 is
+// the upper half of an IEEE-754 binary32: 1 sign bit, 8 exponent bits,
+// 7 mantissa bits. Arithmetic is performed by widening to float32,
+// operating there, and rounding back, which matches how hardware MAC
+// units with float32 accumulators behave.
+package bf16
+
+import "math"
+
+// Num is a bfloat16 value stored in its 16-bit wire format.
+type Num uint16
+
+// Bit-layout constants for the bfloat16 format.
+const (
+	SignBits     = 1
+	ExponentBits = 8
+	MantissaBits = 7
+
+	signMask     = 0x8000
+	exponentMask = 0x7F80
+	mantissaMask = 0x007F
+
+	// PosInf and NegInf are the bfloat16 infinities.
+	PosInf Num = 0x7F80
+	NegInf Num = 0xFF80
+	// QNaN is the canonical quiet NaN produced by operations here.
+	QNaN Num = 0x7FC0
+)
+
+// FromFloat32 converts a float32 to bfloat16 using round-to-nearest-even,
+// the rounding mode used by hardware bfloat16 converters.
+func FromFloat32(f float32) Num {
+	b := math.Float32bits(f)
+	if f != f { // NaN: preserve sign, force a quiet mantissa.
+		return Num(b>>16) | 0x0040
+	}
+	// Round to nearest even on the truncated 16 bits.
+	rounding := uint32(0x7FFF + ((b >> 16) & 1))
+	b += rounding
+	return Num(b >> 16)
+}
+
+// FromFloat64 converts a float64 to bfloat16 via float32.
+func FromFloat64(f float64) Num { return FromFloat32(float32(f)) }
+
+// Float32 widens a bfloat16 to float32. The conversion is exact: every
+// bfloat16 value is representable as a float32.
+func (n Num) Float32() float32 { return math.Float32frombits(uint32(n) << 16) }
+
+// Float64 widens a bfloat16 to float64 exactly.
+func (n Num) Float64() float64 { return float64(n.Float32()) }
+
+// Bits returns the raw 16-bit encoding.
+func (n Num) Bits() uint16 { return uint16(n) }
+
+// FromBits reinterprets a raw 16-bit pattern as a bfloat16.
+func FromBits(b uint16) Num { return Num(b) }
+
+// IsNaN reports whether n is a NaN of any flavour.
+func (n Num) IsNaN() bool {
+	return n&exponentMask == exponentMask && n&mantissaMask != 0
+}
+
+// IsInf reports whether n is an infinity. sign > 0 tests only for +Inf,
+// sign < 0 only for -Inf, and sign == 0 for either.
+func (n Num) IsInf(sign int) bool {
+	switch {
+	case sign > 0:
+		return n == PosInf
+	case sign < 0:
+		return n == NegInf
+	default:
+		return n == PosInf || n == NegInf
+	}
+}
+
+// IsZero reports whether n is positive or negative zero.
+func (n Num) IsZero() bool { return n&^signMask == 0 }
+
+// Neg returns -n. Negation is exact (a sign-bit flip), including for NaN.
+func (n Num) Neg() Num { return n ^ signMask }
+
+// Abs returns |n|.
+func (n Num) Abs() Num { return n &^ signMask }
+
+// Signbit reports whether the sign bit is set.
+func (n Num) Signbit() bool { return n&signMask != 0 }
+
+// Add returns a+b rounded to bfloat16.
+func Add(a, b Num) Num { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Sub returns a-b rounded to bfloat16.
+func Sub(a, b Num) Num { return FromFloat32(a.Float32() - b.Float32()) }
+
+// Mul returns a*b rounded to bfloat16.
+func Mul(a, b Num) Num { return FromFloat32(a.Float32() * b.Float32()) }
+
+// FMA returns a*b+c computed in float32 and rounded once to bfloat16.
+// This models a MAC unit whose multiplier feeds an adder without an
+// intermediate bfloat16 rounding step.
+func FMA(a, b, c Num) Num {
+	return FromFloat32(a.Float32()*b.Float32() + c.Float32())
+}
+
+// Less reports a < b with IEEE semantics (false if either is NaN).
+func Less(a, b Num) bool { return a.Float32() < b.Float32() }
+
+// Equal reports a == b with IEEE semantics: NaN compares unequal to
+// everything and -0 equals +0.
+func Equal(a, b Num) bool { return a.Float32() == b.Float32() }
+
+// One and Zero are common constants.
+var (
+	One  = FromFloat32(1)
+	Zero = Num(0)
+)

@@ -1,0 +1,177 @@
+package dram
+
+import "fmt"
+
+// BankState is the coarse state of a bank's row buffer.
+type BankState uint8
+
+const (
+	// BankIdle means all rows are precharged.
+	BankIdle BankState = iota
+	// BankActive means one row is latched in the sense amplifiers.
+	BankActive
+)
+
+// String implements fmt.Stringer.
+func (s BankState) String() string {
+	switch s {
+	case BankIdle:
+		return "idle"
+	case BankActive:
+		return "active"
+	}
+	return fmt.Sprintf("BankState(%d)", uint8(s))
+}
+
+// Bank models one DRAM bank: a state machine over the row buffer plus
+// per-bank timing horizons, and functional storage for the rows that have
+// been written. Rows are allocated lazily (a 16-bank channel has 512 MB
+// of cells; workloads touch a small fraction).
+type Bank struct {
+	geo Geometry
+
+	state   BankState
+	openRow int
+
+	// Timing horizons: the earliest cycle at which each command class may
+	// be issued to this bank. Maintained by the channel's checker.
+	nextACT int64
+	nextPRE int64
+	nextCol int64 // earliest RD/WR/COMP column access
+
+	rows map[int][]byte
+}
+
+// newBank returns an idle bank with no stored data.
+func newBank(geo Geometry) *Bank {
+	return &Bank{geo: geo, openRow: -1, rows: make(map[int][]byte)}
+}
+
+// State returns the bank's row-buffer state.
+func (b *Bank) State() BankState { return b.state }
+
+// OpenRow returns the currently activated row, or -1 when idle.
+func (b *Bank) OpenRow() int {
+	if b.state != BankActive {
+		return -1
+	}
+	return b.openRow
+}
+
+// activate latches row into the sense amplifiers at the given cycle and
+// advances the bank's horizons. The caller has already checked legality.
+func (b *Bank) activate(row int, cycle int64, t Timing) {
+	b.state = BankActive
+	b.openRow = row
+	b.nextCol = cycle + t.TRCD
+	b.nextPRE = cycle + t.TRAS
+	b.nextACT = cycle + t.TRC()
+}
+
+// precharge closes the open row at the given cycle.
+func (b *Bank) precharge(cycle int64, t Timing) {
+	b.state = BankIdle
+	b.openRow = -1
+	if next := cycle + t.TRP; next > b.nextACT {
+		b.nextACT = next
+	}
+}
+
+// columnAccess records a column command (read, write, or COMP column
+// access) at the given cycle. write extends the precharge horizon by the
+// write-recovery time.
+func (b *Bank) columnAccess(cycle int64, t Timing, write bool) {
+	if next := cycle + t.TCCD; next > b.nextCol {
+		b.nextCol = next
+	}
+	horizon := cycle + t.TCCD
+	if write {
+		horizon = cycle + t.TWR
+	}
+	if horizon > b.nextPRE {
+		b.nextPRE = horizon
+	}
+}
+
+// row returns the backing storage for row r, allocating zeroed storage on
+// first touch.
+func (b *Bank) row(r int) []byte {
+	data, ok := b.rows[r]
+	if !ok {
+		data = make([]byte, b.geo.RowBytes())
+		b.rows[r] = data
+	}
+	return data
+}
+
+// ReadColumn returns a copy of column I/O col of the open row. It is a
+// functional read; timing is the channel's concern.
+func (b *Bank) ReadColumn(col int) ([]byte, error) {
+	view, err := b.columnView(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(view))
+	copy(out, view)
+	return out, nil
+}
+
+// columnView returns the open row's column I/O without copying: the
+// zero-allocation path the ganged COMP stream uses. The view is only
+// valid until the row's data next changes, and callers must not write
+// through it.
+func (b *Bank) columnView(col int) ([]byte, error) {
+	if b.state != BankActive {
+		return nil, fmt.Errorf("dram: read from bank with no open row")
+	}
+	if col < 0 || col >= b.geo.Cols {
+		return nil, fmt.Errorf("dram: column %d out of range [0,%d)", col, b.geo.Cols)
+	}
+	cb := b.geo.ColBytes()
+	return b.row(b.openRow)[col*cb : (col+1)*cb], nil
+}
+
+// WriteColumn stores data into column I/O col of the open row.
+func (b *Bank) WriteColumn(col int, data []byte) error {
+	if b.state != BankActive {
+		return fmt.Errorf("dram: write to bank with no open row")
+	}
+	if col < 0 || col >= b.geo.Cols {
+		return fmt.Errorf("dram: column %d out of range [0,%d)", col, b.geo.Cols)
+	}
+	cb := b.geo.ColBytes()
+	if len(data) != cb {
+		return fmt.Errorf("dram: write data is %d bytes, column I/O is %d", len(data), cb)
+	}
+	copy(b.row(b.openRow)[col*cb:], data)
+	return nil
+}
+
+// LoadRow stores an entire row image directly, bypassing timing. It is
+// the back door used to preload filter matrices (the paper assumes the
+// matrix is resident before inference begins) and by tests.
+func (b *Bank) LoadRow(row int, data []byte) error {
+	if row < 0 || row >= b.geo.Rows {
+		return fmt.Errorf("dram: row %d out of range [0,%d)", row, b.geo.Rows)
+	}
+	if len(data) != b.geo.RowBytes() {
+		return fmt.Errorf("dram: row image is %d bytes, row is %d", len(data), b.geo.RowBytes())
+	}
+	copy(b.row(row), data)
+	return nil
+}
+
+// PeekRow returns a copy of a row's stored image without timing effects,
+// for debugging and tests.
+func (b *Bank) PeekRow(row int) ([]byte, error) {
+	if row < 0 || row >= b.geo.Rows {
+		return nil, fmt.Errorf("dram: row %d out of range [0,%d)", row, b.geo.Rows)
+	}
+	out := make([]byte, b.geo.RowBytes())
+	copy(out, b.row(row))
+	return out, nil
+}
+
+// StoredRows returns how many distinct rows hold data, for capacity
+// accounting in tests.
+func (b *Bank) StoredRows() int { return len(b.rows) }

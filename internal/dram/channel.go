@@ -1,0 +1,381 @@
+package dram
+
+import "fmt"
+
+// Channel models one (pseudo) channel: its banks, command bus, shared
+// column datapath, activation windows, and functional data. It is the
+// unit of Newton's operation; multiple channels repeat in parallel.
+//
+// A Channel is not safe for concurrent use; each channel belongs to one
+// scheduler goroutine.
+type Channel struct {
+	cfg   Config
+	banks []*Bank
+
+	// lastRowCmd and lastColCmd are the cycles of the most recent command
+	// on the row and column command buses. HBM-class DRAMs split the
+	// command interface: ACT/PRE/REF travel on the row bus while column
+	// commands (RD/WR and all of Newton's compute commands) travel on the
+	// column bus. Each bus admits one command per CmdSlot. The column bus
+	// is the scarce resource Newton's ganged and complex commands save;
+	// the split is what lets Ideal Non-PIM hide activations under
+	// streaming, as the paper's §III-F model assumes.
+	lastRowCmd int64
+	lastColCmd int64
+	// nextCol is the channel-wide earliest cycle for the next column
+	// command. Conventional DRAM serializes bank data through one global
+	// bus, and AiM's ganged COMP is likewise paced at one column access
+	// per tCCD (the compute is rate-matched to it).
+	nextCol int64
+	// lastActCmd is the cycle of the most recent ACT or G_ACT command,
+	// for tRRD.
+	lastActCmd int64
+	// actWindow holds the timestamps of up to the last four row
+	// activations (a G_ACT contributes four), ascending, for the tFAW
+	// sliding-window check.
+	actWindow []int64
+
+	// compScratch backs IssueResult.BankData for compute commands, so
+	// the COMP fast path allocates nothing per command.
+	compScratch [][]byte
+
+	stats Stats
+}
+
+// NewChannel returns an idle channel. The configuration must validate.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		cfg:         cfg,
+		banks:       make([]*Bank, cfg.Geometry.Banks),
+		lastRowCmd:  -cfg.Timing.CmdSlot,
+		lastColCmd:  -cfg.Timing.CmdSlot,
+		lastActCmd:  -cfg.Timing.TRRD,
+		actWindow:   make([]int64, 0, 4),
+		compScratch: make([][]byte, cfg.Geometry.Banks),
+	}
+	for i := range ch.banks {
+		ch.banks[i] = newBank(cfg.Geometry)
+	}
+	return ch, nil
+}
+
+// Config returns the channel's configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Bank returns bank i for functional access (preloading matrices,
+// inspecting rows in tests).
+func (ch *Channel) Bank(i int) *Bank { return ch.banks[i] }
+
+// Stats returns a snapshot of the channel's counters.
+func (ch *Channel) Stats() Stats { return ch.stats.Clone() }
+
+// ResetStats zeroes the counters without touching DRAM state.
+func (ch *Channel) ResetStats() { ch.stats = Stats{} }
+
+// IssueResult reports the effects of a successfully issued command.
+type IssueResult struct {
+	// DataReady is the cycle at which read data (RD) or result data
+	// (READRES) is valid on the bus, or at which a COMP's column data has
+	// been consumed by the multipliers. Zero for commands with no
+	// returned data.
+	DataReady int64
+	// Data is the column I/O returned by RD.
+	Data []byte
+	// BankData holds, for COMP, the filter sub-chunk read in every bank
+	// (index = bank), and for COMP_BK/COLRD a single entry at the
+	// addressed bank's index. It views channel-internal storage: it is
+	// valid only until the next Issue call and must not be written.
+	BankData [][]byte
+}
+
+// banksInCluster returns the bank index range [lo, hi) of a G_ACT cluster.
+func (ch *Channel) banksInCluster(cluster int) (lo, hi int, err error) {
+	per := ch.cfg.Geometry.BanksPerCluster
+	if cluster < 0 || cluster >= ch.cfg.Geometry.Clusters() {
+		return 0, 0, fmt.Errorf("cluster %d out of range [0,%d)", cluster, ch.cfg.Geometry.Clusters())
+	}
+	return cluster * per, (cluster + 1) * per, nil
+}
+
+// fawEarliest returns the earliest cycle >= from at which k new
+// activations may be added without exceeding four in any tFAW window.
+func (ch *Channel) fawEarliest(from int64, k int) int64 {
+	tfaw := ch.cfg.Timing.TFAW
+	// Count window entries still live at cycle `from`.
+	live := 0
+	for _, t := range ch.actWindow {
+		if t > from-tfaw {
+			live++
+		}
+	}
+	excess := live + k - 4
+	if excess <= 0 {
+		return from
+	}
+	// The excess-th oldest live entry must age out of the window.
+	idx := len(ch.actWindow) - live + excess - 1
+	return ch.actWindow[idx] + tfaw
+}
+
+// recordActivations appends k activation timestamps at cycle c, keeping
+// only the most recent four (older ones can never matter again).
+func (ch *Channel) recordActivations(c int64, k int) {
+	for i := 0; i < k; i++ {
+		ch.actWindow = append(ch.actWindow, c)
+	}
+	if n := len(ch.actWindow); n > 4 {
+		ch.actWindow = append(ch.actWindow[:0], ch.actWindow[n-4:]...)
+	}
+}
+
+// EarliestIssue returns the first cycle >= from at which cmd would be
+// legal on this channel, considering only timing (not row-state errors,
+// which are reported by Issue).
+func (ch *Channel) EarliestIssue(cmd Command, from int64) int64 {
+	t := ch.cfg.Timing
+	earliest := from
+	if e := *ch.busOf(cmd.Kind) + t.CmdSlot; e > earliest {
+		earliest = e
+	}
+	switch cmd.Kind {
+	case KindACT:
+		if b := ch.bankOrNil(cmd.Bank); b != nil && b.nextACT > earliest {
+			earliest = b.nextACT
+		}
+		if e := ch.lastActCmd + t.TRRD; e > earliest {
+			earliest = e
+		}
+		earliest = ch.fawEarliest(earliest, 1)
+	case KindGACT:
+		if lo, hi, err := ch.banksInCluster(cmd.Cluster); err == nil {
+			for i := lo; i < hi; i++ {
+				if ch.banks[i].nextACT > earliest {
+					earliest = ch.banks[i].nextACT
+				}
+			}
+		}
+		if e := ch.lastActCmd + t.TRRD; e > earliest {
+			earliest = e
+		}
+		earliest = ch.fawEarliest(earliest, ch.cfg.Geometry.BanksPerCluster)
+	case KindPRE:
+		if b := ch.bankOrNil(cmd.Bank); b != nil && b.nextPRE > earliest {
+			earliest = b.nextPRE
+		}
+	case KindPREA:
+		for _, b := range ch.banks {
+			if b.state == BankActive && b.nextPRE > earliest {
+				earliest = b.nextPRE
+			}
+		}
+	case KindRD, KindWR, KindCOMPBank, KindCOLRD, KindMAC:
+		if ch.nextCol > earliest {
+			earliest = ch.nextCol
+		}
+		if b := ch.bankOrNil(cmd.Bank); b != nil && b.nextCol > earliest {
+			earliest = b.nextCol
+		}
+	case KindCOMP:
+		if ch.nextCol > earliest {
+			earliest = ch.nextCol
+		}
+		for _, b := range ch.banks {
+			if b.nextCol > earliest {
+				earliest = b.nextCol
+			}
+		}
+	case KindREF:
+		for _, b := range ch.banks {
+			if b.nextACT > earliest {
+				earliest = b.nextACT
+			}
+		}
+	case KindGWRITE, KindBCAST, KindREADRES:
+		// Command-slot paced only: the global buffer and result latches
+		// have dedicated ports.
+	}
+	return earliest
+}
+
+// busOf returns the command-bus occupancy cell for a kind: row commands
+// (activations, precharges, refresh) versus column/compute commands.
+func (ch *Channel) busOf(k Kind) *int64 {
+	switch k {
+	case KindACT, KindGACT, KindPRE, KindPREA, KindREF:
+		return &ch.lastRowCmd
+	default:
+		return &ch.lastColCmd
+	}
+}
+
+func (ch *Channel) bankOrNil(i int) *Bank {
+	if i < 0 || i >= len(ch.banks) {
+		return nil
+	}
+	return ch.banks[i]
+}
+
+// Issue applies cmd at the given cycle. It returns an *Error if the cycle
+// violates a timing constraint or the command is illegal in the current
+// bank state. On success the channel state, functional data, and stats
+// are updated and the command's effects are reported.
+func (ch *Channel) Issue(cmd Command, cycle int64) (IssueResult, error) {
+	if earliest := ch.EarliestIssue(cmd, cycle); earliest > cycle {
+		return IssueResult{}, &Error{Cmd: cmd, Cycle: cycle, Earliest: earliest,
+			Reason: "timing constraint violated"}
+	}
+	res, err := ch.apply(cmd, cycle)
+	if err != nil {
+		return IssueResult{}, err
+	}
+	*ch.busOf(cmd.Kind) = cycle
+	ch.stats.record(cmd, cycle, ch.cfg)
+	if res.DataReady > ch.stats.LastDataCycle {
+		ch.stats.LastDataCycle = res.DataReady
+	}
+	return res, nil
+}
+
+// apply performs the state transition for a timing-legal command.
+func (ch *Channel) apply(cmd Command, cycle int64) (IssueResult, error) {
+	t := ch.cfg.Timing
+	fail := func(reason string) (IssueResult, error) {
+		return IssueResult{}, &Error{Cmd: cmd, Cycle: cycle, Reason: reason}
+	}
+	switch cmd.Kind {
+	case KindACT:
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		if b.state != BankIdle {
+			return fail(fmt.Sprintf("bank %d already has row %d open", cmd.Bank, b.openRow))
+		}
+		if cmd.Row < 0 || cmd.Row >= ch.cfg.Geometry.Rows {
+			return fail("row out of range")
+		}
+		b.activate(cmd.Row, cycle, t)
+		ch.lastActCmd = cycle
+		ch.recordActivations(cycle, 1)
+		return IssueResult{}, nil
+
+	case KindGACT:
+		lo, hi, err := ch.banksInCluster(cmd.Cluster)
+		if err != nil {
+			return fail(err.Error())
+		}
+		if cmd.Row < 0 || cmd.Row >= ch.cfg.Geometry.Rows {
+			return fail("row out of range")
+		}
+		for i := lo; i < hi; i++ {
+			if ch.banks[i].state != BankIdle {
+				return fail(fmt.Sprintf("bank %d already has row %d open", i, ch.banks[i].openRow))
+			}
+		}
+		for i := lo; i < hi; i++ {
+			ch.banks[i].activate(cmd.Row, cycle, t)
+		}
+		ch.lastActCmd = cycle
+		ch.recordActivations(cycle, hi-lo)
+		return IssueResult{}, nil
+
+	case KindPRE:
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		b.precharge(cycle, t) // precharging an idle bank is a harmless NOP
+		return IssueResult{}, nil
+
+	case KindPREA:
+		for _, b := range ch.banks {
+			b.precharge(cycle, t)
+		}
+		return IssueResult{}, nil
+
+	case KindRD:
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		data, err := b.ReadColumn(cmd.Col)
+		if err != nil {
+			return fail(err.Error())
+		}
+		b.columnAccess(cycle, t, false)
+		ch.nextCol = cycle + t.TCCD
+		return IssueResult{DataReady: cycle + t.TAA, Data: data}, nil
+
+	case KindWR:
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		if err := b.WriteColumn(cmd.Col, cmd.Data); err != nil {
+			return fail(err.Error())
+		}
+		b.columnAccess(cycle, t, true)
+		ch.nextCol = cycle + t.TCCD
+		return IssueResult{}, nil
+
+	case KindREF:
+		for i, b := range ch.banks {
+			if b.state != BankIdle {
+				return fail(fmt.Sprintf("refresh with bank %d open", i))
+			}
+		}
+		for _, b := range ch.banks {
+			b.nextACT = cycle + t.TRFC
+		}
+		return IssueResult{}, nil
+
+	case KindCOMP:
+		// Ganged column access in every bank; all banks must have an open
+		// row holding the filter sub-chunks at cmd.Col. BankData views
+		// the banks' storage directly and is valid until the next Issue.
+		for i, b := range ch.banks {
+			if b.state != BankActive {
+				return fail(fmt.Sprintf("COMP with bank %d closed", i))
+			}
+		}
+		for i, b := range ch.banks {
+			d, err := b.columnView(cmd.Col)
+			if err != nil {
+				return fail(err.Error())
+			}
+			ch.compScratch[i] = d
+			b.columnAccess(cycle, t, false)
+		}
+		ch.nextCol = cycle + t.TCCD
+		return IssueResult{DataReady: cycle + t.TCCD, BankData: ch.compScratch}, nil
+
+	case KindCOMPBank, KindCOLRD:
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		d, err := b.columnView(cmd.Col)
+		if err != nil {
+			return fail(err.Error())
+		}
+		b.columnAccess(cycle, t, false)
+		ch.nextCol = cycle + t.TCCD
+		for i := range ch.compScratch {
+			ch.compScratch[i] = nil
+		}
+		ch.compScratch[cmd.Bank] = d
+		return IssueResult{DataReady: cycle + t.TCCD, BankData: ch.compScratch}, nil
+
+	case KindMAC, KindBCAST, KindGWRITE:
+		// Pure datapath commands: no bank state. The aim package applies
+		// their functional effects; here they only consume a command slot.
+		return IssueResult{}, nil
+
+	case KindREADRES:
+		return IssueResult{DataReady: cycle + t.TAA}, nil
+	}
+	return fail("unknown command kind")
+}

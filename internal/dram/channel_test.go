@@ -1,0 +1,408 @@
+package dram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Geometry: testGeometry(), Timing: AiMTiming()}
+}
+
+func newTestChannel(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// mustIssue issues at the earliest legal cycle and returns that cycle.
+func mustIssue(t *testing.T, ch *Channel, cmd Command, from int64) int64 {
+	t.Helper()
+	at := ch.EarliestIssue(cmd, from)
+	if _, err := ch.Issue(cmd, at); err != nil {
+		t.Fatalf("issue %v at %d: %v", cmd, at, err)
+	}
+	return at
+}
+
+func TestReadNeedsTRCD(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 1}, 0)
+	// Reading immediately violates tRCD.
+	if _, err := ch.Issue(Command{Kind: KindRD, Bank: 0, Col: 0}, 1); err == nil {
+		t.Fatal("read before tRCD accepted")
+	}
+	var derr *Error
+	_, err := ch.Issue(Command{Kind: KindRD, Bank: 0, Col: 0}, 1)
+	if !errors.As(err, &derr) || derr.Earliest != tt.TRCD {
+		t.Fatalf("earliest = %v, want %d", err, tt.TRCD)
+	}
+	if _, err := ch.Issue(Command{Kind: KindRD, Bank: 0, Col: 0}, tt.TRCD); err != nil {
+		t.Fatalf("read at tRCD rejected: %v", err)
+	}
+}
+
+func TestPrechargeNeedsTRAS(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 2, Row: 0}, 0)
+	if _, err := ch.Issue(Command{Kind: KindPRE, Bank: 2}, tt.TRAS-1); err == nil {
+		t.Fatal("precharge before tRAS accepted")
+	}
+	if _, err := ch.Issue(Command{Kind: KindPRE, Bank: 2}, tt.TRAS); err != nil {
+		t.Fatalf("precharge at tRAS rejected: %v", err)
+	}
+}
+
+func TestActAfterPrechargeNeedsTRP(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	a := mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	p := mustIssue(t, ch, Command{Kind: KindPRE, Bank: 0}, a+tt.TRAS)
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 0, Row: 1}, p); got != p+tt.TRP {
+		t.Errorf("next ACT earliest = %d, want %d", got, p+tt.TRP)
+	}
+}
+
+func TestSameBankActNeedsTRC(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	mustIssue(t, ch, Command{Kind: KindPRE, Bank: 0}, tt.TRAS)
+	// tRC from the first ACT also binds: earliest is max(tRC, PRE+tRP).
+	want := tt.TRAS + tt.TRP
+	if tt.TRC() > want {
+		want = tt.TRC()
+	}
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 0, Row: 1}, 0); got != want {
+		t.Errorf("same-bank re-ACT earliest = %d, want %d", got, want)
+	}
+}
+
+func TestActOnOpenBankRejected(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	at := ch.EarliestIssue(Command{Kind: KindACT, Bank: 0, Row: 1}, 0)
+	if _, err := ch.Issue(Command{Kind: KindACT, Bank: 0, Row: 1}, at); err == nil {
+		t.Fatal("ACT on open bank accepted")
+	}
+}
+
+func TestTRRDBetweenBanks(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	a := mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 1, Row: 0}, a); got != a+tt.TRRD {
+		t.Errorf("cross-bank ACT earliest = %d, want %d (tRRD)", got, a+tt.TRRD)
+	}
+}
+
+func TestTFAWSlidingWindow(t *testing.T) {
+	// Use conventional timing, where tFAW (32) > 4*tRRD (24) so the
+	// window, not tRRD, binds the fifth activation.
+	ch, err := NewChannel(Config{Geometry: testGeometry(), Timing: ConventionalTiming()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := ch.Config().Timing
+	// Issue four ACTs as fast as tRRD allows, then the fifth must wait
+	// for the first to age out of the tFAW window.
+	var times []int64
+	from := int64(0)
+	for b := 0; b < 4; b++ {
+		at := mustIssue(t, ch, Command{Kind: KindACT, Bank: b, Row: 0}, from)
+		times = append(times, at)
+		from = at
+	}
+	want := times[0] + tt.TFAW
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 4, Row: 0}, from); got != want {
+		t.Errorf("fifth ACT earliest = %d, want %d (tFAW)", got, want)
+	}
+	// Once the fifth issues, the sixth waits for the second to expire.
+	at5 := mustIssue(t, ch, Command{Kind: KindACT, Bank: 4, Row: 0}, want)
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 5, Row: 0}, at5); got != times[1]+tt.TFAW {
+		t.Errorf("sixth ACT earliest = %d, want %d", got, times[1]+tt.TFAW)
+	}
+}
+
+func TestGACTConsumesWholeWindow(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	a := mustIssue(t, ch, Command{Kind: KindGACT, Cluster: 0, Row: 0}, 0)
+	// A ganged activation of four banks fills the window: the next
+	// activation of any kind waits a full tFAW.
+	if got := ch.EarliestIssue(Command{Kind: KindGACT, Cluster: 1, Row: 0}, a); got != a+tt.TFAW {
+		t.Errorf("next G_ACT earliest = %d, want %d", got, a+tt.TFAW)
+	}
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 8, Row: 0}, a); got != a+tt.TFAW {
+		t.Errorf("next ACT earliest = %d, want %d", got, a+tt.TFAW)
+	}
+}
+
+func TestGACTOpensWholeCluster(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindGACT, Cluster: 1, Row: 7}, 0)
+	for b := 4; b < 8; b++ {
+		if ch.Bank(b).OpenRow() != 7 {
+			t.Errorf("bank %d open row = %d, want 7", b, ch.Bank(b).OpenRow())
+		}
+	}
+	if ch.Bank(0).State() != BankIdle {
+		t.Error("bank outside cluster activated")
+	}
+}
+
+func TestGACTClusterRange(t *testing.T) {
+	ch := newTestChannel(t)
+	at := ch.EarliestIssue(Command{Kind: KindGACT, Cluster: 99, Row: 0}, 0)
+	if _, err := ch.Issue(Command{Kind: KindGACT, Cluster: 99, Row: 0}, at); err == nil {
+		t.Fatal("out-of-range cluster accepted")
+	}
+}
+
+func TestTCCDBetweenColumnCommands(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 1, Row: 0}, 0)
+	// Wait until both banks' tRCD has long expired, so only the shared
+	// global bus (tCCD) constrains the second read.
+	r1 := mustIssue(t, ch, Command{Kind: KindRD, Bank: 0, Col: 0}, 50)
+	if got := ch.EarliestIssue(Command{Kind: KindRD, Bank: 1, Col: 0}, r1); got != r1+tt.TCCD {
+		t.Errorf("next RD earliest = %d, want %d (tCCD)", got, r1+tt.TCCD)
+	}
+}
+
+func TestDualCommandBuses(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	tt := ch.Config().Timing
+	rd := mustIssue(t, ch, Command{Kind: KindRD, Bank: 0, Col: 0}, tt.TRCD)
+	// A row-bus command may issue in the same cycle as the column-bus
+	// read: the buses are independent (what lets Ideal Non-PIM hide
+	// activations under streaming).
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 1, Row: 0}, rd); got != rd {
+		t.Errorf("row-bus ACT earliest = %d, want %d (independent buses)", got, rd)
+	}
+	// But another column command must wait a slot.
+	if got := ch.EarliestIssue(Command{Kind: KindRD, Bank: 0, Col: 1}, rd); got != rd+tt.TCCD {
+		t.Errorf("col-bus RD earliest = %d, want %d", got, rd+tt.TCCD)
+	}
+}
+
+func TestRefreshRequiresIdleBanks(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	at := ch.EarliestIssue(Command{Kind: KindREF}, 0)
+	if _, err := ch.Issue(Command{Kind: KindREF}, at); err == nil {
+		t.Fatal("refresh with open bank accepted")
+	}
+}
+
+func TestRefreshBlocksActivationsForTRFC(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	r := mustIssue(t, ch, Command{Kind: KindREF}, 0)
+	if got := ch.EarliestIssue(Command{Kind: KindACT, Bank: 3, Row: 0}, r); got != r+tt.TRFC {
+		t.Errorf("ACT after REF earliest = %d, want %d (tRFC)", got, r+tt.TRFC)
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	ch := newTestChannel(t)
+	tt := ch.Config().Timing
+	g := ch.Config().Geometry
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 5, Row: 9}, 0)
+	data := make([]byte, g.ColBytes())
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	mustIssue(t, ch, Command{Kind: KindWR, Bank: 5, Col: 4, Data: data}, tt.TRCD)
+	at := ch.EarliestIssue(Command{Kind: KindRD, Bank: 5, Col: 4}, 0)
+	res, err := ch.Issue(Command{Kind: KindRD, Bank: 5, Col: 4}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataReady != at+tt.TAA {
+		t.Errorf("DataReady = %d, want %d (tAA)", res.DataReady, at+tt.TAA)
+	}
+	for i := range data {
+		if res.Data[i] != data[i] {
+			t.Fatalf("readback mismatch at %d", i)
+		}
+	}
+}
+
+func TestCOMPRequiresAllBanksOpen(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindGACT, Cluster: 0, Row: 0}, 0)
+	at := ch.EarliestIssue(Command{Kind: KindCOMP, Col: 0}, 0)
+	if _, err := ch.Issue(Command{Kind: KindCOMP, Col: 0}, at); err == nil {
+		t.Fatal("COMP with closed banks accepted")
+	}
+}
+
+func TestCOMPReadsAllBanks(t *testing.T) {
+	ch := newTestChannel(t)
+	g := ch.Config().Geometry
+	for b := 0; b < g.Banks; b++ {
+		img := make([]byte, g.RowBytes())
+		img[0] = byte(b + 1)
+		if err := ch.Bank(b).LoadRow(0, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cl := 0; cl < g.Clusters(); cl++ {
+		mustIssue(t, ch, Command{Kind: KindGACT, Cluster: cl, Row: 0}, 0)
+	}
+	at := ch.EarliestIssue(Command{Kind: KindCOMP, Col: 0}, 0)
+	res, err := ch.Issue(Command{Kind: KindCOMP, Col: 0}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BankData) != g.Banks {
+		t.Fatalf("BankData has %d entries, want %d", len(res.BankData), g.Banks)
+	}
+	for b := 0; b < g.Banks; b++ {
+		if res.BankData[b][0] != byte(b+1) {
+			t.Errorf("bank %d data = %d, want %d", b, res.BankData[b][0], b+1)
+		}
+	}
+}
+
+func TestIssueTooEarlyReportsEarliest(t *testing.T) {
+	ch := newTestChannel(t)
+	mustIssue(t, ch, Command{Kind: KindACT, Bank: 0, Row: 0}, 0)
+	_, err := ch.Issue(Command{Kind: KindRD, Bank: 0, Col: 0}, 0)
+	var derr *Error
+	if !errors.As(err, &derr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if derr.Earliest == 0 || derr.Error() == "" {
+		t.Errorf("error lacks earliest cycle: %v", derr)
+	}
+}
+
+func TestEarliestIssueIsSufficientProperty(t *testing.T) {
+	// Property: issuing any command at its EarliestIssue cycle either
+	// succeeds or fails for a state (not timing) reason. Drive a random
+	// but state-aware command sequence.
+	cfg := testConfig()
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := cfg.Geometry
+	now := int64(0)
+	opened := 0
+	for i := 0; i < 3000; i++ {
+		var cmd Command
+		switch rng.Intn(6) {
+		case 0:
+			b := rng.Intn(g.Banks)
+			if ch.Bank(b).State() == BankActive {
+				cmd = Command{Kind: KindRD, Bank: b, Col: rng.Intn(g.Cols)}
+			} else {
+				cmd = Command{Kind: KindACT, Bank: b, Row: rng.Intn(g.Rows)}
+				opened++
+			}
+		case 1:
+			b := rng.Intn(g.Banks)
+			if ch.Bank(b).State() == BankActive {
+				cmd = Command{Kind: KindWR, Bank: b, Col: rng.Intn(g.Cols),
+					Data: make([]byte, g.ColBytes())}
+			} else {
+				cmd = Command{Kind: KindACT, Bank: b, Row: rng.Intn(g.Rows)}
+			}
+		case 2:
+			cmd = Command{Kind: KindPRE, Bank: rng.Intn(g.Banks)}
+		case 3:
+			cmd = Command{Kind: KindPREA}
+		case 4:
+			allIdle := true
+			for b := 0; b < g.Banks; b++ {
+				if ch.Bank(b).State() != BankIdle {
+					allIdle = false
+					break
+				}
+			}
+			if !allIdle {
+				cmd = Command{Kind: KindPREA}
+			} else {
+				cmd = Command{Kind: KindREF}
+			}
+		default:
+			cl := rng.Intn(g.Clusters())
+			lo := cl * g.BanksPerCluster
+			free := true
+			for b := lo; b < lo+g.BanksPerCluster; b++ {
+				if ch.Bank(b).State() != BankIdle {
+					free = false
+					break
+				}
+			}
+			if free {
+				cmd = Command{Kind: KindGACT, Cluster: cl, Row: rng.Intn(g.Rows)}
+			} else {
+				cmd = Command{Kind: KindPREA}
+			}
+		}
+		at := ch.EarliestIssue(cmd, now)
+		if at < now {
+			t.Fatalf("step %d: EarliestIssue(%v) went backwards: %d < %d", i, cmd, at, now)
+		}
+		if _, err := ch.Issue(cmd, at); err != nil {
+			t.Fatalf("step %d: issue %v at its earliest cycle %d failed: %v", i, cmd, at, err)
+		}
+		now = at
+	}
+	if ch.Stats().TotalCommands() != 3000 {
+		t.Errorf("stats counted %d commands, want 3000", ch.Stats().TotalCommands())
+	}
+}
+
+func TestNewChannelRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Geometry.Banks = 0
+	if _, err := NewChannel(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindACT; k <= KindREADRES; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+	if !KindCOMP.IsAiM() || KindRD.IsAiM() || !KindGWRITE.IsAiM() {
+		t.Error("IsAiM classification wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	cases := []struct {
+		cmd  Command
+		want string
+	}{
+		{Command{Kind: KindACT, Bank: 3, Row: 17}, "ACT b3 r17"},
+		{Command{Kind: KindPRE, Bank: 1}, "PRE b1"},
+		{Command{Kind: KindGACT, Cluster: 2, Row: 5}, "G_ACT cl2 r5"},
+		{Command{Kind: KindCOMP, Col: 9}, "COMP c9"},
+		{Command{Kind: KindREADRES}, "READRES"},
+	}
+	for _, c := range cases {
+		if got := c.cmd.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package dram
+
+import "fmt"
+
+// Kind identifies a DRAM or AiM command.
+type Kind uint8
+
+// Conventional DRAM commands plus Newton's AiM command set (Table I).
+const (
+	// KindInvalid is the zero value; issuing it is always an error.
+	KindInvalid Kind = iota
+
+	// KindACT activates (opens) a row in one bank.
+	KindACT
+	// KindPRE precharges (closes) one bank.
+	KindPRE
+	// KindPREA precharges all banks in the channel.
+	KindPREA
+	// KindRD reads one column I/O from an open row.
+	KindRD
+	// KindWR writes one column I/O into an open row.
+	KindWR
+	// KindREF performs an all-bank refresh; every bank must be idle and
+	// the channel is busy for tRFC.
+	KindREF
+
+	// KindGWRITE writes one column-I/O-wide slot of the channel's global
+	// input-vector buffer (Table I: "WRITE sub-chunk# to the Global
+	// Buffer"). It touches no bank.
+	KindGWRITE
+	// KindGACT gangs the activation of one 4-bank cluster in a single
+	// command (Table I: "Ganged activation of 4-bank cluster#").
+	KindGACT
+	// KindCOMP is Newton's complex compute command: it broadcasts one
+	// sub-chunk from the global buffer, column-reads the corresponding
+	// filter sub-chunk, and multiply-accumulates - in all banks at once
+	// (Table I: "Ganged multiply of sub-chunk# in all banks").
+	KindCOMP
+	// KindCOMPBank is the non-ganged variant of COMP used by the
+	// Non-opt-Newton baseline: the same three fused steps but in a single
+	// bank, so consuming a row across n banks costs n times the command
+	// bandwidth (paper §III-D motivates ganging with exactly this cost).
+	KindCOMPBank
+	// KindBCAST, KindCOLRD and KindMAC are the three simple commands that
+	// one COMP replaces when the "complex commands" optimization is off:
+	// global-buffer broadcast, filter column read, and multiply-add
+	// (paper §III-D: "employing a simple command for each of the three
+	// steps would cause significant pressure on the command bandwidth").
+	KindBCAST
+	KindCOLRD
+	KindMAC
+	// KindREADRES reads and concatenates the result latches of all banks
+	// in one command (Table I: "Read the Result latches of all banks").
+	KindREADRES
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:  "INVALID",
+	KindACT:      "ACT",
+	KindPRE:      "PRE",
+	KindPREA:     "PREA",
+	KindRD:       "RD",
+	KindWR:       "WR",
+	KindREF:      "REF",
+	KindGWRITE:   "GWRITE",
+	KindGACT:     "G_ACT",
+	KindCOMP:     "COMP",
+	KindCOMPBank: "COMP_BK",
+	KindBCAST:    "BCAST",
+	KindCOLRD:    "COLRD",
+	KindMAC:      "MAC",
+	KindREADRES:  "READRES",
+}
+
+// String returns the mnemonic used in the paper's figures.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsAiM reports whether the command belongs to Newton's extension set
+// rather than the conventional DRAM command set.
+func (k Kind) IsAiM() bool {
+	switch k {
+	case KindGWRITE, KindGACT, KindCOMP, KindCOMPBank, KindBCAST, KindCOLRD, KindMAC, KindREADRES:
+		return true
+	}
+	return false
+}
+
+// Command is one command on a channel's command bus.
+//
+// Field use by kind:
+//
+//	ACT, PRE:          Bank, Row (PRE ignores Row)
+//	PREA, REF:         no fields
+//	RD, WR:            Bank, Col (WR also Data)
+//	GWRITE:            Col (global-buffer slot), Data
+//	G_ACT:             Cluster, Row
+//	COMP:              Col (sub-chunk index, both for the global buffer
+//	                   read and the filter column access)
+//	COMP_BK/COLRD/MAC: Bank, Col
+//	BCAST:             Col
+//	READRES:           no fields
+type Command struct {
+	Kind    Kind
+	Bank    int
+	Cluster int
+	Row     int
+	Col     int
+	Data    []byte
+	// Latch selects the per-bank result latch for compute commands and
+	// READRES. Newton proper has a single latch (0); the §III-C
+	// quad-latch design point uses 0-3.
+	Latch int
+}
+
+// String renders the command compactly for traces.
+func (c Command) String() string {
+	switch c.Kind {
+	case KindACT:
+		return fmt.Sprintf("ACT b%d r%d", c.Bank, c.Row)
+	case KindPRE:
+		return fmt.Sprintf("PRE b%d", c.Bank)
+	case KindRD, KindWR, KindCOMPBank, KindCOLRD, KindMAC:
+		return fmt.Sprintf("%s b%d c%d", c.Kind, c.Bank, c.Col)
+	case KindGACT:
+		return fmt.Sprintf("G_ACT cl%d r%d", c.Cluster, c.Row)
+	case KindGWRITE, KindCOMP, KindBCAST:
+		return fmt.Sprintf("%s c%d", c.Kind, c.Col)
+	default:
+		return c.Kind.String()
+	}
+}
+
+// Error is a timing- or state-violation error from the checker. Earliest
+// carries the first cycle at which the command would have been legal when
+// the violation is purely one of timing (0 when the command is illegal
+// regardless of time, e.g. reading a closed bank).
+type Error struct {
+	Cmd      Command
+	Cycle    int64
+	Earliest int64
+	Reason   string
+}
+
+func (e *Error) Error() string {
+	if e.Earliest > 0 {
+		return fmt.Sprintf("dram: %v at cycle %d: %s (earliest legal cycle %d)",
+			e.Cmd, e.Cycle, e.Reason, e.Earliest)
+	}
+	return fmt.Sprintf("dram: %v at cycle %d: %s", e.Cmd, e.Cycle, e.Reason)
+}

@@ -1,0 +1,137 @@
+package dram
+
+// The paper notes (§III-E) that while the evaluation builds on an
+// HBM2E-like DRAM, "Newton's key ideas are applicable to other DRAM
+// families such as LPDDR, DDR, and GDDR, with low-level differences
+// based on the internal bandwidth, impact on density, and implementation
+// (e.g., number of MACs for rate matching)". SK hynix's shipped product
+// was in fact GDDR6-AiM.
+//
+// The presets below are illustrative members of those families on the
+// same 1 GHz command-clock domain: geometry and timing track each
+// family's character (row size, bank count, column cadence), and the MAC
+// count per bank follows automatically from the column I/O width
+// (ColBits/16), which is exactly the rate-matching rule the paper
+// states. Absolute values are representative, not any specific part's.
+
+// Family identifies a DRAM family preset.
+type Family string
+
+// Supported family presets.
+const (
+	FamilyHBM2E  Family = "hbm2e"
+	FamilyGDDR6  Family = "gddr6"
+	FamilyLPDDR4 Family = "lpddr4"
+	FamilyDDR4   Family = "ddr4"
+)
+
+// Families lists the presets in presentation order.
+func Families() []Family {
+	return []Family{FamilyHBM2E, FamilyGDDR6, FamilyLPDDR4, FamilyDDR4}
+}
+
+// FamilyConfig returns an AiM-timed configuration for the family with
+// the given channel count. Unknown families return ok=false.
+func FamilyConfig(f Family, channels int) (Config, bool) {
+	switch f {
+	case FamilyHBM2E:
+		return Config{Geometry: HBM2EGeometry(channels), Timing: AiMTiming()}, true
+	case FamilyGDDR6:
+		return GDDR6Config(channels), true
+	case FamilyLPDDR4:
+		return LPDDR4Config(channels), true
+	case FamilyDDR4:
+		return DDR4Config(channels), true
+	}
+	return Config{}, false
+}
+
+// GDDR6Config returns a GDDR6-AiM-like configuration: 2 KB rows, 16
+// banks, a faster column cadence than HBM (GDDR trades width for clock),
+// 16 MACs per bank. This is the family the shipped AiM product uses.
+func GDDR6Config(channels int) Config {
+	return Config{
+		Geometry: Geometry{
+			Channels:        channels,
+			Banks:           16,
+			BanksPerCluster: 4,
+			Rows:            16384,
+			Cols:            64, // 2 KB rows at 256-bit column I/O
+			ColBits:         256,
+		},
+		Timing: Timing{
+			CmdSlot: 2,
+			TRCD:    18,
+			TRP:     18,
+			TRAS:    32,
+			TCCD:    2, // twice HBM's per-channel column rate
+			TAA:     20,
+			TWR:     8,
+			TRRD:    6,
+			TFAW:    16,
+			TREFI:   3900,
+			TRFC:    260,
+			TMAC:    12,
+		},
+	}
+}
+
+// LPDDR4Config returns an LPDDR4-like configuration: 8 banks, 2 KB rows,
+// a narrower 128-bit column I/O (8 MACs per bank) at a slower cadence,
+// and the longer core timings of a mobile part.
+func LPDDR4Config(channels int) Config {
+	return Config{
+		Geometry: Geometry{
+			Channels:        channels,
+			Banks:           8,
+			BanksPerCluster: 4,
+			Rows:            32768,
+			Cols:            128, // 2 KB rows at 128-bit column I/O
+			ColBits:         128,
+		},
+		Timing: Timing{
+			CmdSlot: 4,
+			TRCD:    18,
+			TRP:     18,
+			TRAS:    42,
+			TCCD:    8,
+			TAA:     28,
+			TWR:     18,
+			TRRD:    10,
+			TFAW:    30,
+			TREFI:   3900,
+			TRFC:    280,
+			TMAC:    16,
+		},
+	}
+}
+
+// DDR4Config returns a DDR4-like configuration: 16 banks in four bank
+// groups, 1 KB rows, a 64-bit-wide burst column interface (4 MACs per
+// bank) with the slowest column cadence of the set.
+func DDR4Config(channels int) Config {
+	return Config{
+		Geometry: Geometry{
+			Channels:        channels,
+			Banks:           16,
+			BanksPerCluster: 4,
+			Rows:            65536,
+			Cols:            128, // 1 KB rows at 64-bit column I/O
+			ColBits:         64,
+		},
+		Timing: Timing{
+			CmdSlot: 4,
+			TRCD:    14,
+			TRP:     14,
+			TRAS:    32,
+			TCCD:    5,
+			TAA:     14,
+			TWR:     15,
+			TRRD:    6,
+			TFAW:    21,
+			TREFI:   7800,
+			TRFC:    350,
+			TMAC:    16,
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package dram
+
+// Stats counts the events on one channel. The power model converts these
+// counts into energy; the experiments convert them into command-bandwidth
+// utilization.
+type Stats struct {
+	// Commands counts issued commands by kind.
+	Commands map[Kind]int64
+	// Activations counts row activations (a G_ACT adds its gang size).
+	Activations int64
+	// ColumnReads and ColumnWrites count per-bank column accesses, so a
+	// ganged COMP across n banks adds n to ColumnReads.
+	ColumnReads  int64
+	ColumnWrites int64
+	// BytesRead / BytesWritten count data moved over the external bus
+	// (RD, WR, READRES, GWRITE). COMP's internal column reads do not
+	// cross the external interface and are counted separately.
+	BytesRead    int64
+	BytesWritten int64
+	// InternalBytesRead counts the bank-internal column data consumed by
+	// COMP commands - the bandwidth PIM exposes that never crosses the
+	// external PHY.
+	InternalBytesRead int64
+	// Refreshes counts REF commands.
+	Refreshes int64
+	// FirstCmdCycle and LastCmdCycle bound the busy interval.
+	FirstCmdCycle int64
+	LastCmdCycle  int64
+	// LastDataCycle is the latest cycle at which data was valid.
+	LastDataCycle int64
+
+	issuedAny bool
+}
+
+// record updates the counters for one issued command.
+func (s *Stats) record(cmd Command, cycle int64, cfg Config) {
+	if s.Commands == nil {
+		s.Commands = make(map[Kind]int64)
+	}
+	s.Commands[cmd.Kind]++
+	if !s.issuedAny || cycle < s.FirstCmdCycle {
+		s.FirstCmdCycle = cycle
+	}
+	if cycle > s.LastCmdCycle {
+		s.LastCmdCycle = cycle
+	}
+	s.issuedAny = true
+
+	colBytes := int64(cfg.Geometry.ColBytes())
+	switch cmd.Kind {
+	case KindACT:
+		s.Activations++
+	case KindGACT:
+		s.Activations += int64(cfg.Geometry.BanksPerCluster)
+	case KindRD:
+		s.ColumnReads++
+		s.BytesRead += colBytes
+	case KindWR:
+		s.ColumnWrites++
+		s.BytesWritten += colBytes
+	case KindCOMP:
+		n := int64(cfg.Geometry.Banks)
+		s.ColumnReads += n
+		s.InternalBytesRead += n * colBytes
+	case KindCOMPBank, KindCOLRD:
+		s.ColumnReads++
+		s.InternalBytesRead += colBytes
+	case KindGWRITE:
+		s.BytesWritten += colBytes
+	case KindREADRES:
+		s.BytesRead += colBytes
+	case KindREF:
+		s.Refreshes++
+	}
+}
+
+// TotalCommands returns the number of commands of every kind.
+func (s Stats) TotalCommands() int64 {
+	var n int64
+	for _, c := range s.Commands {
+		n += c
+	}
+	return n
+}
+
+// Count returns the number of commands of one kind.
+func (s Stats) Count(k Kind) int64 { return s.Commands[k] }
+
+// Clone returns a deep copy (the Commands map is otherwise shared).
+func (s Stats) Clone() Stats {
+	c := s
+	c.Commands = make(map[Kind]int64, len(s.Commands))
+	for k, v := range s.Commands {
+		c.Commands[k] = v
+	}
+	return c
+}
+
+// Diff returns the events recorded in s but not in the earlier snapshot
+// prev. Interval fields (First/Last cycles) are taken from s.
+func (s Stats) Diff(prev Stats) Stats {
+	d := s
+	d.Commands = make(map[Kind]int64)
+	for k, v := range s.Commands {
+		if n := v - prev.Commands[k]; n != 0 {
+			d.Commands[k] = n
+		}
+	}
+	d.Activations -= prev.Activations
+	d.ColumnReads -= prev.ColumnReads
+	d.ColumnWrites -= prev.ColumnWrites
+	d.BytesRead -= prev.BytesRead
+	d.BytesWritten -= prev.BytesWritten
+	d.InternalBytesRead -= prev.InternalBytesRead
+	d.Refreshes -= prev.Refreshes
+	return d
+}
+
+// Add accumulates other into s (for summing across channels).
+func (s *Stats) Add(other Stats) {
+	if s.Commands == nil {
+		s.Commands = make(map[Kind]int64)
+	}
+	for k, v := range other.Commands {
+		s.Commands[k] += v
+	}
+	s.Activations += other.Activations
+	s.ColumnReads += other.ColumnReads
+	s.ColumnWrites += other.ColumnWrites
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.InternalBytesRead += other.InternalBytesRead
+	s.Refreshes += other.Refreshes
+	if other.issuedAny {
+		if !s.issuedAny || other.FirstCmdCycle < s.FirstCmdCycle {
+			s.FirstCmdCycle = other.FirstCmdCycle
+		}
+		if other.LastCmdCycle > s.LastCmdCycle {
+			s.LastCmdCycle = other.LastCmdCycle
+		}
+		if other.LastDataCycle > s.LastDataCycle {
+			s.LastDataCycle = other.LastDataCycle
+		}
+		s.issuedAny = true
+	}
+}

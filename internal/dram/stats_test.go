@@ -1,0 +1,81 @@
+package dram
+
+import "testing"
+
+func TestStatsRecordCounts(t *testing.T) {
+	cfg := testConfig()
+	var s Stats
+	s.record(Command{Kind: KindACT}, 10, cfg)
+	s.record(Command{Kind: KindGACT}, 20, cfg)
+	s.record(Command{Kind: KindRD}, 30, cfg)
+	s.record(Command{Kind: KindWR}, 40, cfg)
+	s.record(Command{Kind: KindCOMP}, 50, cfg)
+	s.record(Command{Kind: KindGWRITE}, 60, cfg)
+	s.record(Command{Kind: KindREADRES}, 70, cfg)
+	s.record(Command{Kind: KindREF}, 80, cfg)
+
+	if got := s.Activations; got != 1+int64(cfg.Geometry.BanksPerCluster) {
+		t.Errorf("Activations = %d", got)
+	}
+	cb := int64(cfg.Geometry.ColBytes())
+	if s.BytesRead != 2*cb { // RD + READRES
+		t.Errorf("BytesRead = %d, want %d", s.BytesRead, 2*cb)
+	}
+	if s.BytesWritten != 2*cb { // WR + GWRITE
+		t.Errorf("BytesWritten = %d, want %d", s.BytesWritten, 2*cb)
+	}
+	if s.InternalBytesRead != int64(cfg.Geometry.Banks)*cb {
+		t.Errorf("InternalBytesRead = %d", s.InternalBytesRead)
+	}
+	if s.ColumnReads != 1+int64(cfg.Geometry.Banks) {
+		t.Errorf("ColumnReads = %d", s.ColumnReads)
+	}
+	if s.Refreshes != 1 || s.TotalCommands() != 8 {
+		t.Errorf("Refreshes = %d, TotalCommands = %d", s.Refreshes, s.TotalCommands())
+	}
+	if s.FirstCmdCycle != 10 || s.LastCmdCycle != 80 {
+		t.Errorf("cycle bounds [%d,%d]", s.FirstCmdCycle, s.LastCmdCycle)
+	}
+	if s.Count(KindCOMP) != 1 || s.Count(KindPRE) != 0 {
+		t.Error("per-kind counts wrong")
+	}
+}
+
+func TestStatsDiff(t *testing.T) {
+	cfg := testConfig()
+	var s Stats
+	s.record(Command{Kind: KindRD}, 1, cfg)
+	snap := s.Clone()
+	s.record(Command{Kind: KindRD}, 2, cfg)
+	s.record(Command{Kind: KindACT}, 3, cfg)
+	d := s.Diff(snap)
+	if d.Count(KindRD) != 1 || d.Count(KindACT) != 1 {
+		t.Errorf("diff counts wrong: %+v", d.Commands)
+	}
+	if d.Activations != 1 {
+		t.Errorf("diff Activations = %d", d.Activations)
+	}
+	if d.BytesRead != int64(cfg.Geometry.ColBytes()) {
+		t.Errorf("diff BytesRead = %d", d.BytesRead)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	cfg := testConfig()
+	var a, b Stats
+	a.record(Command{Kind: KindRD}, 5, cfg)
+	b.record(Command{Kind: KindWR}, 3, cfg)
+	b.record(Command{Kind: KindREF}, 9, cfg)
+	a.Add(b)
+	if a.TotalCommands() != 3 || a.Refreshes != 1 {
+		t.Errorf("Add totals wrong: %d cmds %d refs", a.TotalCommands(), a.Refreshes)
+	}
+	if a.FirstCmdCycle != 3 || a.LastCmdCycle != 9 {
+		t.Errorf("Add cycle bounds [%d,%d], want [3,9]", a.FirstCmdCycle, a.LastCmdCycle)
+	}
+	var empty Stats
+	empty.Add(a)
+	if empty.TotalCommands() != 3 {
+		t.Error("Add into zero value lost counts")
+	}
+}

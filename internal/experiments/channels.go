@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/workloads"
+)
+
+// ChannelCounts are the channel-scaling design points.
+var ChannelCounts = []int{6, 12, 24, 48}
+
+// ChannelRow is one channel count's result on one benchmark.
+type ChannelRow struct {
+	Channels int
+	// NewtonCycles and IdealCycles simulate the benchmark at this
+	// channel count; both scale with channels, so their ratio stays at
+	// the per-channel n/(o+1) while absolute performance grows.
+	NewtonCycles, IdealCycles int64
+	// SpeedupOverIdeal is the Amdahl-immune quantity.
+	SpeedupOverIdeal float64
+	// Scaling is Newton's absolute speedup relative to the smallest
+	// channel count.
+	Scaling float64
+}
+
+// ChannelScaling reproduces the closing claim of §V-C: unlike adding
+// banks (whose activation overheads dampen gains), adding channels
+// scales Newton's compute parallelism without touching the per-channel
+// Amdahl term - "the best of both worlds". Benchmark: AlexNet-L6, large
+// enough that even 48 channels stay fully loaded.
+func (c Config) ChannelScaling() ([]ChannelRow, error) {
+	b, _ := workloads.ByName("AlexNet-L6")
+	var rows []ChannelRow
+	var base int64
+	for _, channels := range ChannelCounts {
+		cfg := c.dramConfig(c.Banks, true)
+		cfg.Geometry.Channels = channels
+
+		ctrl, err := host.NewController(cfg, c.paperNewton())
+		if err != nil {
+			return nil, err
+		}
+		m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
+		p, err := ctrl.Place(m)
+		if err != nil {
+			return nil, err
+		}
+		newton, err := ctrl.RunMVM(p, c.inputFor(b.Cols))
+		if err != nil {
+			return nil, fmt.Errorf("channel scaling %d ch: %w", channels, err)
+		}
+
+		ih, err := host.NewIdealNonPIM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ih.Compute = c.Functional
+		ip, err := ih.Place(m)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := ih.RunMVM(ip, c.inputFor(b.Cols))
+		if err != nil {
+			return nil, fmt.Errorf("channel scaling %d ch ideal: %w", channels, err)
+		}
+
+		if base == 0 {
+			base = newton.Cycles
+		}
+		rows = append(rows, ChannelRow{
+			Channels:         channels,
+			NewtonCycles:     newton.Cycles,
+			IdealCycles:      ideal.Cycles,
+			SpeedupOverIdeal: float64(ideal.Cycles) / float64(newton.Cycles),
+			Scaling:          float64(base) / float64(newton.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderChannelScaling formats the study.
+func RenderChannelScaling(rows []ChannelRow) string {
+	hdr := []string{"channels", "Newton", "ideal", "Newton/ideal", "scaling"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			fmt.Sprintf("%d", r.Channels),
+			fmt.Sprintf("%d", r.NewtonCycles),
+			fmt.Sprintf("%d", r.IdealCycles),
+			fmt.Sprintf("%.2fx", r.SpeedupOverIdeal),
+			fmt.Sprintf("%.2fx", r.Scaling),
+		})
+	}
+	return "SV-C channel scaling: parallelism without the Amdahl tax (AlexNet-L6)\n" + table(hdr, body)
+}

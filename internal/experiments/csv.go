@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// csvTable renders rows as RFC-4180-ish CSV (no quoting needed: all
+// cells are identifiers or numbers).
+func csvTable(header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(header, ","))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// CSVFig8Layers emits the per-layer Fig. 8 data.
+func CSVFig8Layers(rows []Fig8LayerRow) string {
+	hdr := []string{"layer", "newton_cycles", "nonopt_cycles", "ideal_cycles",
+		"gpu_cycles", "newton_x", "nonopt_x", "ideal_x"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Name, d(r.NewtonCycles), d(r.NonOptCycles),
+			d(r.IdealCycles), f(r.GPUCycles), f(r.Newton), f(r.NonOpt), f(r.Ideal)})
+	}
+	return csvTable(hdr, body)
+}
+
+// CSVFig9 emits the ablation ladder.
+func CSVFig9(rows []Fig9Row) string {
+	hdr := []string{"layer"}
+	for _, st := range Fig9Steps() {
+		hdr = append(hdr, strings.TrimSuffix(strings.TrimPrefix(st.Label, "+"), "*"))
+	}
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, sp := range r.Speedups {
+			cells = append(cells, f(sp))
+		}
+		body = append(body, cells)
+	}
+	return csvTable(hdr, body)
+}
+
+// CSVFig10 emits the bank-sensitivity data.
+func CSVFig10(rows []Fig10Row) string {
+	hdr := []string{"layer"}
+	for _, bk := range Fig10BankCounts {
+		hdr = append(hdr, fmt.Sprintf("banks%d", bk))
+	}
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, sp := range r.Speedups {
+			cells = append(cells, f(sp))
+		}
+		body = append(body, cells)
+	}
+	return csvTable(hdr, body)
+}
+
+// CSVBatchRows emits a batch study (Figs. 11/12).
+func CSVBatchRows(baseline string, rows []BatchRow) string {
+	hdr := []string{"layer", "system"}
+	if len(rows) > 0 {
+		for _, k := range rows[0].Batches {
+			hdr = append(hdr, fmt.Sprintf("k%d", k))
+		}
+	}
+	var body [][]string
+	for _, r := range rows {
+		n := []string{r.Name, "newton"}
+		b := []string{r.Name, baseline}
+		for i := range r.Batches {
+			n = append(n, f(r.Newton[i]))
+			b = append(b, f(r.Baseline[i]))
+		}
+		body = append(body, n, b)
+	}
+	return csvTable(hdr, body)
+}
+
+// CSVFig13 emits the power data.
+func CSVFig13(rows []Fig13Row) string {
+	hdr := []string{"layer", "avg_power_x", "compute_fraction", "energy_vs_ideal"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Name, f(r.AvgPower), f(r.ComputeFraction), f(r.EnergyRatio)})
+	}
+	return csvTable(hdr, body)
+}

@@ -1,0 +1,170 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V). Each figure has a runner returning typed rows plus a
+// text rendering; cmd/newton-bench and the repository's bench_test.go
+// both drive these runners, so the published numbers regenerate from one
+// code path.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/gpu"
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/workloads"
+)
+
+// Config parameterizes the experiment suite.
+type Config struct {
+	// Channels in the memory system (paper: 24).
+	Channels int
+	// Banks per channel (paper: 16).
+	Banks int
+	// Seed for synthetic weights and inputs.
+	Seed int64
+	// Functional turns on data-path validation inside the ideal
+	// baseline (slower; timing identical).
+	Functional bool
+	// Benchmarks overrides the Table II layer set (nil = full table);
+	// tests use a reduced set to stay fast.
+	Benchmarks []workloads.Bench
+}
+
+// Default returns the paper's evaluation configuration.
+func Default() Config {
+	return Config{Channels: 24, Banks: 16, Seed: 42}
+}
+
+// benchmarks returns the active layer set.
+func (c Config) benchmarks() []workloads.Bench {
+	if c.Benchmarks != nil {
+		return c.Benchmarks
+	}
+	return workloads.TableII()
+}
+
+// dramConfig builds the simulator configuration for a bank count,
+// choosing AiM or conventional timing.
+func (c Config) dramConfig(banks int, aggressiveTFAW bool) dram.Config {
+	geo := dram.HBM2EGeometry(c.Channels)
+	geo.Banks = banks
+	if banks < geo.BanksPerCluster {
+		geo.BanksPerCluster = banks
+	}
+	t := dram.ConventionalTiming()
+	if aggressiveTFAW {
+		t = dram.AiMTiming()
+	}
+	return dram.Config{Geometry: geo, Timing: t}
+}
+
+// inputFor deterministically generates an input vector for a benchmark.
+func (c Config) inputFor(cols int) bf16.Vector {
+	m := layout.RandomMatrix(cols, 1, c.Seed+1)
+	return bf16.Vector(m.Data)
+}
+
+// runNewtonVariant simulates one benchmark under one option set and
+// returns the run. Timing preset follows opts: the de-optimized design
+// points before "aggressive tFAW" use conventional timing.
+func (c Config) runNewtonVariant(b workloads.Bench, opts host.Options, aggressiveTFAW bool, banks int) (*host.Result, error) {
+	ctrl, err := host.NewController(c.dramConfig(banks, aggressiveTFAW), opts)
+	if err != nil {
+		return nil, err
+	}
+	m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
+	p, err := ctrl.Place(m)
+	if err != nil {
+		return nil, err
+	}
+	return ctrl.RunMVM(p, c.inputFor(b.Cols))
+}
+
+// runIdeal simulates the Ideal Non-PIM on one benchmark.
+func (c Config) runIdeal(b workloads.Bench, banks int) (*host.Result, error) {
+	h, err := host.NewIdealNonPIM(c.dramConfig(banks, true))
+	if err != nil {
+		return nil, err
+	}
+	h.Compute = c.Functional
+	m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
+	p, err := h.Place(m)
+	if err != nil {
+		return nil, err
+	}
+	return h.RunMVM(p, c.inputFor(b.Cols))
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// table renders rows of labelled columns as fixed-width text.
+func table(header []string, rows [][]string) string {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(w) && len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// paperNewton returns the paper's full design point: the five published
+// optimizations, without this implementation's buffer-load overlap
+// refinement, so reproduced figures measure the paper's controller. The
+// overlap appears only as Fig. 9's explicit "+overlap*" step (and is the
+// library default outside the reproduction suite).
+func (Config) paperNewton() host.Options {
+	o := host.Newton()
+	o.OverlapBufferLoad = false
+	return o
+}
+
+// paperVariant strips the overlap refinement from any preset.
+func (Config) paperVariant(o host.Options) host.Options {
+	o.OverlapBufferLoad = false
+	return o
+}
+
+// gpuModel returns the GPU baseline consistent with the experiment's
+// memory system.
+func (c Config) gpuModel() gpu.Model {
+	g := gpu.TitanV()
+	g.MemChannels = c.Channels
+	return g
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/model"
+)
+
+// FamilyRow is one DRAM family's Newton result: speedup over that
+// family's own ideal non-PIM bound, next to the §III-F model prediction
+// for the family's parameters.
+type FamilyRow struct {
+	Family       dram.Family
+	Banks        int
+	MACsPerBank  int
+	RowBytes     int
+	NewtonCycles int64
+	IdealCycles  int64
+	Speedup      float64
+	Predicted    float64
+}
+
+// Families reproduces the §III-E claim that Newton's ideas transfer to
+// GDDR, LPDDR and DDR: on each family preset, Newton's speedup over the
+// family's own ideal non-PIM tracks the §III-F model with that family's
+// bank count and activation-to-streaming ratio. The benchmark layer is
+// GNMT-s1.
+func (c Config) Families() ([]FamilyRow, error) {
+	var rows []FamilyRow
+	for _, f := range dram.Families() {
+		cfg, ok := dram.FamilyConfig(f, c.Channels)
+		if !ok {
+			return nil, fmt.Errorf("families: unknown family %q", f)
+		}
+		m := layout.RandomMatrix(4096, 1024, c.Seed)
+		v := c.inputFor(1024)
+
+		ctrl, err := host.NewController(cfg, c.paperNewton())
+		if err != nil {
+			return nil, fmt.Errorf("families %s: %w", f, err)
+		}
+		p, err := ctrl.Place(m)
+		if err != nil {
+			return nil, fmt.Errorf("families %s: %w", f, err)
+		}
+		newton, err := ctrl.RunMVM(p, v)
+		if err != nil {
+			return nil, fmt.Errorf("families %s: %w", f, err)
+		}
+
+		ih, err := host.NewIdealNonPIM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ih.Compute = c.Functional
+		ip, err := ih.Place(m)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := ih.RunMVM(ip, v)
+		if err != nil {
+			return nil, fmt.Errorf("families %s ideal: %w", f, err)
+		}
+
+		rows = append(rows, FamilyRow{
+			Family:       f,
+			Banks:        cfg.Geometry.Banks,
+			MACsPerBank:  cfg.Geometry.ColBits / 16,
+			RowBytes:     cfg.Geometry.RowBytes(),
+			NewtonCycles: newton.Cycles,
+			IdealCycles:  ideal.Cycles,
+			Speedup:      float64(ideal.Cycles) / float64(newton.Cycles),
+			Predicted:    model.FromConfig(cfg).Speedup(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFamilies formats the family study.
+func RenderFamilies(rows []FamilyRow) string {
+	hdr := []string{"family", "banks", "MACs/bank", "row", "Newton", "ideal", "speedup", "model"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			string(r.Family),
+			fmt.Sprintf("%d", r.Banks),
+			fmt.Sprintf("%d", r.MACsPerBank),
+			fmt.Sprintf("%d B", r.RowBytes),
+			fmt.Sprintf("%d", r.NewtonCycles),
+			fmt.Sprintf("%d", r.IdealCycles),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2fx", r.Predicted),
+		})
+	}
+	return "SIII-E family study: Newton over each family's ideal non-PIM (GNMT-s1)\n" + table(hdr, body)
+}

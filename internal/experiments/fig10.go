@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/model"
+)
+
+// Fig10BankCounts are the bank-sensitivity design points.
+var Fig10BankCounts = []int{8, 16, 32}
+
+// BankMetricName names the per-bank-count benchmark metric.
+func BankMetricName(banks int) string {
+	return fmt.Sprintf("banks%d_x", banks)
+}
+
+// Fig10Row is one benchmark's speedup over the GPU at each bank count.
+type Fig10Row struct {
+	Name     string
+	Speedups []float64 // indexed like Fig10BankCounts
+}
+
+// Fig10 reproduces the bank-sensitivity study (§V-C): compute bandwidth
+// scales linearly with banks but the Amdahl term o (activation
+// overheads) dampens the gain.
+func (c Config) Fig10() ([]Fig10Row, []float64, []float64, error) {
+	g := c.gpuModel()
+	var rows []Fig10Row
+	perBank := make([][]float64, len(Fig10BankCounts))
+	predicted := make([]float64, len(Fig10BankCounts))
+	for i, banks := range Fig10BankCounts {
+		predicted[i] = model.FromConfig(c.dramConfig(banks, true)).Speedup()
+	}
+	for _, b := range c.benchmarks() {
+		row := Fig10Row{Name: b.Name}
+		gput := g.LayerTime(b.Rows, b.Cols)
+		for i, banks := range Fig10BankCounts {
+			res, err := c.runNewtonVariant(b, c.paperNewton(), true, banks)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("fig10 %s %d banks: %w", b.Name, banks, err)
+			}
+			sp := gput / float64(res.Cycles)
+			row.Speedups = append(row.Speedups, sp)
+			perBank[i] = append(perBank[i], sp)
+		}
+		rows = append(rows, row)
+	}
+	means := make([]float64, len(Fig10BankCounts))
+	for i, vs := range perBank {
+		means[i] = GeoMean(vs)
+	}
+	return rows, means, predicted, nil
+}
+
+// RenderFig10 formats the bank-sensitivity table. predicted carries the
+// §III-F model's Newton-over-ideal speedups alongside for reference.
+func RenderFig10(rows []Fig10Row, means, predicted []float64) string {
+	hdr := []string{"layer"}
+	for _, bk := range Fig10BankCounts {
+		hdr = append(hdr, fmt.Sprintf("%d banks", bk))
+	}
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, sp := range r.Speedups {
+			cells = append(cells, fmt.Sprintf("%.1fx", sp))
+		}
+		body = append(body, cells)
+	}
+	cells := []string{"geomean"}
+	for _, m := range means {
+		cells = append(cells, fmt.Sprintf("%.1fx", m))
+	}
+	body = append(body, cells)
+	cells = []string{"model(o+1)/n"}
+	for _, p := range predicted {
+		cells = append(cells, fmt.Sprintf("%.1fx ideal", p))
+	}
+	body = append(body, cells)
+	return "Fig. 10: sensitivity to number of banks (speedup over GPU)\n" + table(hdr, body)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+	"newton/internal/layout"
+)
+
+// Fig11Batches are the batch sizes of the Ideal-Non-PIM comparison.
+var Fig11Batches = []int{1, 2, 4, 8, 16}
+
+// Fig12Batches are the batch sizes of the GPU comparison.
+var Fig12Batches = []int{1, 4, 16, 64}
+
+// BatchRow carries, for one benchmark, the performance of Newton and a
+// baseline across batch sizes, normalized to the GPU at batch 1
+// (performance = batch size / time, so higher is better; this is the
+// paper's Y-axis in Figs. 11 and 12).
+type BatchRow struct {
+	Name     string
+	Batches  []int
+	Newton   []float64
+	Baseline []float64 // Ideal Non-PIM (Fig. 11) or GPU (Fig. 12)
+}
+
+// batchStudy shares the machinery of Figs. 11 and 12. idealBaseline
+// selects the Ideal Non-PIM (true) or the GPU (false) as the comparison.
+//
+// Newton's batch-k time is measured, not extrapolated: k products run
+// back to back on one system with the live refresh schedule, and the
+// clock is sampled at each studied batch size. The result confirms the
+// paper's observation that Newton's compute cannot exploit the matrix
+// reuse batching creates - its time is linear in k (§V-D).
+func (c Config) batchStudy(batches []int, idealBaseline bool) ([]BatchRow, error) {
+	g := c.gpuModel()
+	maxBatch := batches[len(batches)-1]
+	var rows []BatchRow
+	for _, b := range c.benchmarks() {
+		ctrl, err := host.NewController(c.dramConfig(c.Banks, true), c.paperNewton())
+		if err != nil {
+			return nil, err
+		}
+		m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
+		p, err := ctrl.Place(m)
+		if err != nil {
+			return nil, err
+		}
+		v := c.inputFor(b.Cols)
+		start := ctrl.Now()
+		newtonAt := make(map[int]int64, len(batches))
+		for k := 1; k <= maxBatch; k++ {
+			if _, err := ctrl.RunMVM(p, v); err != nil {
+				return nil, fmt.Errorf("batch study %s input %d: %w", b.Name, k, err)
+			}
+			newtonAt[k] = ctrl.Now() - start
+		}
+
+		var idealCycles float64
+		if idealBaseline {
+			ideal, err := c.runIdeal(b, c.Banks)
+			if err != nil {
+				return nil, fmt.Errorf("batch study %s ideal: %w", b.Name, err)
+			}
+			// The ideal host's infinite compute exploits all batch
+			// reuse: the matrix streams once regardless of k.
+			idealCycles = float64(ideal.Cycles)
+		}
+		gpu1 := g.KernelTime(b.Rows, b.Cols, 1)
+		row := BatchRow{Name: b.Name, Batches: batches}
+		for _, k := range batches {
+			// Performance normalized to GPU batch 1: (k / t) / (1 / gpu1).
+			row.Newton = append(row.Newton, float64(k)*gpu1/float64(newtonAt[k]))
+			if idealBaseline {
+				row.Baseline = append(row.Baseline, float64(k)*gpu1/idealCycles)
+			} else {
+				row.Baseline = append(row.Baseline, float64(k)*gpu1/g.KernelTime(b.Rows, b.Cols, k))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig11 reproduces the batch-size sensitivity against Ideal Non-PIM:
+// Newton's normalized performance is flat in k while the ideal host's
+// grows linearly, nearly catching Newton at k=8 and overtaking (~1.6x)
+// at k=16.
+func (c Config) Fig11() ([]BatchRow, error) { return c.batchStudy(Fig11Batches, true) }
+
+// Fig12 reproduces the batch-size sensitivity against the GPU: the GPU
+// needs a large batch (~64) to overtake Newton.
+func (c Config) Fig12() ([]BatchRow, error) { return c.batchStudy(Fig12Batches, false) }
+
+// RenderBatchRows formats a batch study.
+func RenderBatchRows(title, baselineName string, rows []BatchRow) string {
+	if len(rows) == 0 {
+		return title + ": no data\n"
+	}
+	hdr := []string{"layer", "system"}
+	for _, k := range rows[0].Batches {
+		hdr = append(hdr, fmt.Sprintf("k=%d", k))
+	}
+	var body [][]string
+	for _, r := range rows {
+		n := []string{r.Name, "Newton"}
+		bl := []string{"", baselineName}
+		for i := range r.Batches {
+			n = append(n, fmt.Sprintf("%.1f", r.Newton[i]))
+			bl = append(bl, fmt.Sprintf("%.1f", r.Baseline[i]))
+		}
+		body = append(body, n, bl)
+	}
+	return title + " (performance normalized to GPU at batch 1)\n" + table(hdr, body)
+}
+
+// CrossoverBatch returns the smallest studied batch size at which the
+// baseline outperforms Newton for the row, or 0 if none.
+func (r BatchRow) CrossoverBatch() int {
+	for i, k := range r.Batches {
+		if r.Baseline[i] > r.Newton[i] {
+			return k
+		}
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/power"
+)
+
+// Fig13Row is one benchmark's average power and energy, normalized to
+// conventional DRAM streaming at peak bandwidth.
+type Fig13Row struct {
+	Name string
+	// AvgPower is the Fig. 13 bar: Newton's average power relative to
+	// conventional DRAM.
+	AvgPower float64
+	// ComputeFraction is the fraction of time the in-DRAM multipliers
+	// are busy, the main driver of the ratio.
+	ComputeFraction float64
+	// EnergyRatio is Newton's energy over the ideal non-PIM's DRAM
+	// energy for the same product: Newton's 10x speedup at ~3x power
+	// makes this well under 1, the paper's energy-efficiency point.
+	EnergyRatio float64
+}
+
+// Fig13 reproduces the power comparison (§V-E): Newton achieves its 10x
+// speedup at about 2.8x the average power of conventional DRAM, and
+// lower total energy.
+func (c Config) Fig13() ([]Fig13Row, float64, error) {
+	coef := power.Default()
+	var rows []Fig13Row
+	var powers []float64
+	for _, b := range c.benchmarks() {
+		cfg := c.dramConfig(c.Banks, true)
+		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fig13 %s: %w", b.Name, err)
+		}
+		ideal, err := c.runIdeal(b, c.Banks)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fig13 %s ideal: %w", b.Name, err)
+		}
+		np := power.Newton(coef, cfg, newton)
+		ip := power.ConventionalDRAM(coef, cfg, ideal)
+		rows = append(rows, Fig13Row{
+			Name:            b.Name,
+			AvgPower:        np.AvgPower,
+			ComputeFraction: np.ComputeFraction,
+			EnergyRatio:     np.Energy / ip.Energy,
+		})
+		powers = append(powers, np.AvgPower)
+	}
+	return rows, GeoMean(powers), nil
+}
+
+// RenderFig13 formats the power table.
+func RenderFig13(rows []Fig13Row, mean float64) string {
+	hdr := []string{"layer", "avg power", "compute frac", "energy vs ideal"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Name,
+			fmt.Sprintf("%.2fx", r.AvgPower),
+			fmt.Sprintf("%.2f", r.ComputeFraction),
+			fmt.Sprintf("%.2fx", r.EnergyRatio),
+		})
+	}
+	body = append(body, []string{"geomean", fmt.Sprintf("%.2fx", mean), "", ""})
+	return "Fig. 13: average power normalized to conventional DRAM\n" + table(hdr, body)
+}

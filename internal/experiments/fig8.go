@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+	"newton/internal/nn"
+	"newton/internal/workloads"
+)
+
+// Fig8LayerRow is one group of bars in the left half of Fig. 8: the
+// speedups over the Titan V-like GPU for one Table II layer.
+type Fig8LayerRow struct {
+	Name string
+	// Cycle counts for the three simulated systems and the modeled GPU.
+	NewtonCycles, NonOptCycles, IdealCycles int64
+	GPUCycles                               float64
+	// Speedups over the GPU.
+	Newton, NonOpt, Ideal float64
+}
+
+// Fig8Layers reproduces the left half of Fig. 8: per-layer speedup of
+// Newton, Non-opt-Newton, and Ideal Non-PIM over the GPU, plus the
+// geometric means the paper quotes (54x, 1.48x, 5.4x).
+func (c Config) Fig8Layers() ([]Fig8LayerRow, Fig8Summary, error) {
+	g := c.gpuModel()
+	var rows []Fig8LayerRow
+	for _, b := range c.benchmarks() {
+		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
+		if err != nil {
+			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s newton: %w", b.Name, err)
+		}
+		nonopt, err := c.runNewtonVariant(b, host.NonOpt(), false, c.Banks)
+		if err != nil {
+			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s non-opt: %w", b.Name, err)
+		}
+		ideal, err := c.runIdeal(b, c.Banks)
+		if err != nil {
+			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s ideal: %w", b.Name, err)
+		}
+		gput := g.LayerTime(b.Rows, b.Cols)
+		rows = append(rows, Fig8LayerRow{
+			Name:         b.Name,
+			NewtonCycles: newton.Cycles,
+			NonOptCycles: nonopt.Cycles,
+			IdealCycles:  ideal.Cycles,
+			GPUCycles:    gput,
+			Newton:       gput / float64(newton.Cycles),
+			NonOpt:       gput / float64(nonopt.Cycles),
+			Ideal:        gput / float64(ideal.Cycles),
+		})
+	}
+	return rows, summarizeFig8(rows), nil
+}
+
+// Fig8Summary carries the geometric means across layers.
+type Fig8Summary struct {
+	Newton, NonOpt, Ideal float64
+	// NewtonOverIdeal is Newton's mean speedup over Ideal Non-PIM - the
+	// paper's 10x headline.
+	NewtonOverIdeal float64
+}
+
+func summarizeFig8(rows []Fig8LayerRow) Fig8Summary {
+	var n, o, i, ni []float64
+	for _, r := range rows {
+		n = append(n, r.Newton)
+		o = append(o, r.NonOpt)
+		i = append(i, r.Ideal)
+		ni = append(ni, float64(r.IdealCycles)/float64(r.NewtonCycles))
+	}
+	return Fig8Summary{
+		Newton:          GeoMean(n),
+		NonOpt:          GeoMean(o),
+		Ideal:           GeoMean(i),
+		NewtonOverIdeal: GeoMean(ni),
+	}
+}
+
+// RenderFig8Layers formats the per-layer half of Fig. 8.
+func RenderFig8Layers(rows []Fig8LayerRow, s Fig8Summary) string {
+	hdr := []string{"layer", "Newton", "Non-opt", "IdealNonPIM", "Newton/Ideal"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Name,
+			fmt.Sprintf("%.1fx", r.Newton),
+			fmt.Sprintf("%.2fx", r.NonOpt),
+			fmt.Sprintf("%.1fx", r.Ideal),
+			fmt.Sprintf("%.1fx", float64(r.IdealCycles)/float64(r.NewtonCycles)),
+		})
+	}
+	body = append(body, []string{
+		"geomean",
+		fmt.Sprintf("%.1fx", s.Newton),
+		fmt.Sprintf("%.2fx", s.NonOpt),
+		fmt.Sprintf("%.1fx", s.Ideal),
+		fmt.Sprintf("%.1fx", s.NewtonOverIdeal),
+	})
+	return "Fig. 8 (layers): speedup over Titan V-like GPU\n" + table(hdr, body)
+}
+
+// Fig8E2ERow is one group in the right half of Fig. 8: end-to-end model
+// speedup over the GPU.
+type Fig8E2ERow struct {
+	Name string
+	// NewtonCycles and GPUCycles are end-to-end inference times,
+	// including the compute-bound conv fraction for AlexNet and exposed
+	// normalization latency.
+	NewtonCycles, GPUCycles float64
+	Refreshes               int64
+	Speedup                 float64
+}
+
+// Fig8EndToEnd reproduces the right half of Fig. 8: end-to-end runs of
+// GNMT, BERT, AlexNet and DLRM with activations and batch normalization,
+// refresh interference included.
+func (c Config) Fig8EndToEnd() ([]Fig8E2ERow, float64, error) {
+	g := c.gpuModel()
+	var rows []Fig8E2ERow
+	for _, spec := range workloads.EndToEnd() {
+		ctrl, err := host.NewController(c.dramConfig(c.Banks, true), c.paperNewton())
+		if err != nil {
+			return nil, 0, err
+		}
+		pm, err := nn.PlaceModel(ctrl, spec, c.Seed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
+		}
+		input := make([]float32, spec.InputWidth())
+		for i := range input {
+			input[i] = float32(i%7)/7 - 0.5
+		}
+		run, err := nn.Run(ctrl, pm, input, c.paperNewton().NormExposureCycles)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
+		}
+		// GPU end-to-end: FC layers on the model, plus the compute-bound
+		// conv fraction that runs identically in both systems.
+		var gpuFC float64
+		for _, l := range spec.Layers {
+			gpuFC += g.LayerTime(l.Rows, l.Cols)
+		}
+		gpuTotal := gpuFC / (1 - spec.ConvFraction)
+		conv := gpuTotal - gpuFC
+		newtonTotal := float64(run.Cycles) + conv
+		rows = append(rows, Fig8E2ERow{
+			Name:         spec.Name,
+			NewtonCycles: newtonTotal,
+			GPUCycles:    gpuTotal,
+			Refreshes:    run.Refreshes,
+			Speedup:      gpuTotal / newtonTotal,
+		})
+	}
+	var all []float64
+	for _, r := range rows {
+		all = append(all, r.Speedup)
+	}
+	return rows, GeoMean(all), nil
+}
+
+// RenderFig8EndToEnd formats the end-to-end half of Fig. 8.
+func RenderFig8EndToEnd(rows []Fig8E2ERow, mean float64) string {
+	hdr := []string{"model", "speedup", "refreshes"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Name, fmt.Sprintf("%.1fx", r.Speedup), fmt.Sprintf("%d", r.Refreshes)})
+	}
+	body = append(body, []string{"geomean", fmt.Sprintf("%.1fx", mean), ""})
+	return "Fig. 8 (end-to-end): speedup over Titan V-like GPU\n" + table(hdr, body)
+}

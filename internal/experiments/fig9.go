@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+)
+
+// Fig9Step names one cumulative design point of the ablation.
+type Fig9Step struct {
+	Label string
+	Opts  host.Options
+	// AggressiveTFAW is the timing-preset half of the final step.
+	AggressiveTFAW bool
+}
+
+// Fig9Steps returns the paper's cumulative optimization order - non-opt,
+// +gang, +complex, +reuse, +four-bank, +tFAW - plus a final "+overlap*"
+// step that is this implementation's own scheduler refinement (buffer
+// loads under activations), reaching the shipped host.Newton() config.
+func Fig9Steps() []Fig9Step {
+	nonopt := host.NonOpt()
+	gang := nonopt
+	gang.GangedCompute = true
+	complexCmds := gang
+	complexCmds.ComplexCommands = true
+	reuse := complexCmds
+	reuse.Reuse = true
+	fourBank := reuse
+	fourBank.GangedActivation = true
+	overlap := fourBank
+	overlap.OverlapBufferLoad = true
+	return []Fig9Step{
+		{Label: "non-opt", Opts: nonopt},
+		{Label: "+gang", Opts: gang},
+		{Label: "+complex", Opts: complexCmds},
+		{Label: "+reuse", Opts: reuse},
+		{Label: "+four-bank", Opts: fourBank},
+		{Label: "+tFAW", Opts: fourBank, AggressiveTFAW: true},
+		// Our scheduler refinement beyond the paper's five steps: the
+		// buffer load overlapped under the activations (see Options).
+		{Label: "+overlap*", Opts: overlap, AggressiveTFAW: true},
+	}
+}
+
+// Fig9Row is one benchmark's speedup over the GPU at each cumulative
+// design point.
+type Fig9Row struct {
+	Name     string
+	Speedups []float64 // indexed like Fig9Steps
+}
+
+// Fig9 reproduces the optimization-isolation study: Newton's speedup
+// over the GPU as the optimizations are added one at a time (§V-B).
+func (c Config) Fig9() ([]Fig9Row, []float64, error) {
+	steps := Fig9Steps()
+	g := c.gpuModel()
+	var rows []Fig9Row
+	perStep := make([][]float64, len(steps))
+	for _, b := range c.benchmarks() {
+		row := Fig9Row{Name: b.Name}
+		gput := g.LayerTime(b.Rows, b.Cols)
+		for i, st := range steps {
+			res, err := c.runNewtonVariant(b, st.Opts, st.AggressiveTFAW, c.Banks)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig9 %s %s: %w", b.Name, st.Label, err)
+			}
+			sp := gput / float64(res.Cycles)
+			row.Speedups = append(row.Speedups, sp)
+			perStep[i] = append(perStep[i], sp)
+		}
+		rows = append(rows, row)
+	}
+	means := make([]float64, len(steps))
+	for i, vs := range perStep {
+		means[i] = GeoMean(vs)
+	}
+	return rows, means, nil
+}
+
+// RenderFig9 formats the ablation table.
+func RenderFig9(rows []Fig9Row, means []float64) string {
+	steps := Fig9Steps()
+	hdr := []string{"layer"}
+	for _, s := range steps {
+		hdr = append(hdr, s.Label)
+	}
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, sp := range r.Speedups {
+			cells = append(cells, fmt.Sprintf("%.2fx", sp))
+		}
+		body = append(body, cells)
+	}
+	cells := []string{"geomean"}
+	for _, m := range means {
+		cells = append(cells, fmt.Sprintf("%.2fx", m))
+	}
+	body = append(body, cells)
+	return "Fig. 9: isolating Newton's optimizations (speedup over GPU, cumulative)\n" + table(hdr, body)
+}

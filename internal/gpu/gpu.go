@@ -1,0 +1,108 @@
+// Package gpu models the realistic non-PIM baseline of the paper's
+// evaluation: a Titan V-class GPU running Cutlass matrix-vector kernels.
+//
+// The paper simulates this baseline with GPGPUsim 4.0; rebuilding a
+// cycle-level GPU simulator is out of scope for a DRAM-centric
+// reproduction, so this package substitutes a calibrated analytic model
+// (see DESIGN.md's substitution table). For the deeply memory-bound GEMV
+// kernels Newton targets, GPU time is governed by achieved DRAM
+// bandwidth; the model captures:
+//
+//   - the external-bandwidth bound: the matrix must cross the PHY once,
+//   - a bandwidth-efficiency factor well below 1 for skinny GEMV
+//     (uncoalesced tails, low occupancy), shrinking further for small
+//     matrices that cannot fill the machine (the paper calls this out
+//     for DLRM),
+//   - batch reuse: with k-way batching the matrix still crosses once,
+//     so only the per-input vector traffic and compute scale with k -
+//     which is why a large enough batch lets the GPU catch Newton
+//     (Fig. 12's crossover near batch 64),
+//   - the constant kernel-launch overhead, which the paper explicitly
+//     subtracts out (§IV), so this model has no launch term.
+//
+// The DRAM side uses the same per-channel bandwidth as the simulator
+// (one column I/O per tCCD), so the GPU, Ideal Non-PIM and Newton all sit
+// on one consistent bandwidth axis.
+package gpu
+
+import "newton/internal/dram"
+
+// Model is an analytic GPU performance model. All times are in the same
+// 1 GHz command-clock cycles (nanoseconds) the DRAM simulator uses.
+type Model struct {
+	// Name labels the configuration in reports.
+	Name string
+	// MemChannels and ChannelBytesPerCycle define peak external DRAM
+	// bandwidth; they mirror the simulated DRAM (24 channels, one 32-byte
+	// column I/O per 4-cycle tCCD = 8 bytes/cycle/channel).
+	MemChannels          int
+	ChannelBytesPerCycle float64
+	// BaseEfficiency is the achieved fraction of peak bandwidth on a
+	// large matrix-vector kernel. Calibrated so the Ideal Non-PIM's
+	// geometric-mean advantage over the GPU lands near the paper's 5.4x.
+	BaseEfficiency float64
+	// SaturationBytes is the matrix footprint at which the kernel reaches
+	// half of BaseEfficiency; smaller matrices underutilize the machine
+	// (DLRM-sized kernels run far below peak).
+	SaturationBytes float64
+	// AchievedFLOPsPerCycle is the sustained arithmetic rate for these
+	// kernels (flops per cycle = GFLOP/s at 1 GHz). Far below the Titan
+	// V's tensor-core peak; GEMV cannot feed tensor cores.
+	AchievedFLOPsPerCycle float64
+}
+
+// TitanV returns the paper's GPU baseline: a Titan V-like part with 80
+// SMs and a 24-channel HBM2E-like memory system (§IV), with efficiency
+// constants calibrated against the paper's reported ratios.
+func TitanV() Model {
+	return Model{
+		Name:                  "titan-v",
+		MemChannels:           24,
+		ChannelBytesPerCycle:  8,
+		BaseEfficiency:        0.155,
+		SaturationBytes:       0.4 * 1024 * 1024,
+		AchievedFLOPsPerCycle: 15000, // 15 TFLOP/s sustained
+	}
+}
+
+// PeakBandwidth returns bytes per cycle across all channels.
+func (m Model) PeakBandwidth() float64 {
+	return float64(m.MemChannels) * m.ChannelBytesPerCycle
+}
+
+// Efficiency returns the achieved fraction of peak bandwidth for a
+// kernel whose matrix occupies the given bytes.
+func (m Model) Efficiency(matrixBytes int64) float64 {
+	s := float64(matrixBytes)
+	return m.BaseEfficiency * s / (s + m.SaturationBytes)
+}
+
+// KernelTime returns the modeled run time, in cycles, of a k-way batched
+// matrix-vector product with an (rows x cols) matrix: max of the memory
+// time (matrix once + per-input vectors, at achieved bandwidth) and the
+// compute time (2*rows*cols*k flops at the achieved rate).
+func (m Model) KernelTime(rows, cols, batch int) float64 {
+	if rows < 1 || cols < 1 || batch < 1 {
+		return 0
+	}
+	matrixBytes := int64(rows) * int64(cols) * 2
+	vecBytes := float64(rows+cols) * 2 // input read + output write per input
+	bw := m.PeakBandwidth() * m.Efficiency(matrixBytes)
+	memTime := float64(matrixBytes)/bw + float64(batch)*vecBytes/bw
+	compTime := 2 * float64(rows) * float64(cols) * float64(batch) / m.AchievedFLOPsPerCycle
+	if compTime > memTime {
+		return compTime
+	}
+	return memTime
+}
+
+// LayerTime is KernelTime at batch 1.
+func (m Model) LayerTime(rows, cols int) float64 { return m.KernelTime(rows, cols, 1) }
+
+// ConsistentWith reports whether the model's bandwidth axis matches a
+// DRAM configuration (same channel count and per-channel rate), which
+// experiments assert so the three systems stay comparable.
+func (m Model) ConsistentWith(cfg dram.Config) bool {
+	perChannel := float64(cfg.Geometry.ColBytes()) / float64(cfg.Timing.TCCD)
+	return m.MemChannels == cfg.Geometry.Channels && perChannel == m.ChannelBytesPerCycle
+}

@@ -1,0 +1,104 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newton/internal/dram"
+)
+
+func TestEfficiencyBounds(t *testing.T) {
+	m := TitanV()
+	f := func(bytes int64) bool {
+		if bytes < 1 {
+			bytes = 1
+		}
+		e := m.Efficiency(bytes)
+		return e > 0 && e < m.BaseEfficiency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Large matrices approach the base efficiency.
+	if e := m.Efficiency(1 << 30); e < 0.99*m.BaseEfficiency {
+		t.Errorf("1 GiB matrix efficiency %v too far below base %v", e, m.BaseEfficiency)
+	}
+	// DLRM-sized kernels run far below it (the paper's observation).
+	if e := m.Efficiency(512 * 256 * 2); e > 0.5*m.BaseEfficiency {
+		t.Errorf("small-kernel efficiency %v not degraded", e)
+	}
+}
+
+func TestKernelTimeMonotone(t *testing.T) {
+	m := TitanV()
+	prev := 0.0
+	for _, rows := range []int{128, 512, 2048, 8192} {
+		tt := m.KernelTime(rows, 1024, 1)
+		if tt <= prev {
+			t.Errorf("time not increasing with rows: %v after %v", tt, prev)
+		}
+		prev = tt
+	}
+	// Batch grows time, but far sub-linearly (the matrix streams once).
+	t1 := m.KernelTime(4096, 1024, 1)
+	t64 := m.KernelTime(4096, 1024, 64)
+	if t64 <= t1 {
+		t.Error("batching did not increase time at all")
+	}
+	if t64 > 3*t1 {
+		t.Errorf("batch-64 time %v more than 3x batch-1 %v: reuse not modeled", t64, t1)
+	}
+}
+
+func TestZeroAndNegativeInputs(t *testing.T) {
+	m := TitanV()
+	if m.KernelTime(0, 10, 1) != 0 || m.KernelTime(10, 0, 1) != 0 || m.KernelTime(10, 10, 0) != 0 {
+		t.Error("degenerate inputs should give zero time")
+	}
+}
+
+func TestLayerTimeIsBatchOne(t *testing.T) {
+	m := TitanV()
+	if m.LayerTime(1024, 1024) != m.KernelTime(1024, 1024, 1) {
+		t.Error("LayerTime != KernelTime(batch=1)")
+	}
+}
+
+func TestConsistentWithSimulatedDRAM(t *testing.T) {
+	m := TitanV()
+	if !m.ConsistentWith(dram.HBM2EConfig()) {
+		t.Error("GPU model bandwidth axis inconsistent with the DRAM simulator")
+	}
+	other := dram.HBM2EConfig()
+	other.Geometry.Channels = 8
+	if m.ConsistentWith(other) {
+		t.Error("channel-count mismatch not detected")
+	}
+}
+
+func TestGPUBetweenNewtonAndIdealScale(t *testing.T) {
+	// At batch 1 the modeled GPU must be several times slower than a
+	// perfect streamer of the same matrix (the paper's ideal is ~5.4x
+	// faster than the GPU).
+	m := TitanV()
+	rows, cols := 4096, 1024
+	bytes := float64(rows) * float64(cols) * 2
+	perfect := bytes / m.PeakBandwidth()
+	gpu := m.LayerTime(rows, cols)
+	ratio := gpu / perfect
+	if ratio < 3 || ratio > 10 {
+		t.Errorf("GPU/perfect-stream ratio %.2f outside the plausible 3-10 window", ratio)
+	}
+}
+
+func TestComputeBoundAtHugeBatch(t *testing.T) {
+	// With enough batch the kernel becomes compute-bound and time grows
+	// linearly in k.
+	m := TitanV()
+	t1k := m.KernelTime(4096, 1024, 10000)
+	t2k := m.KernelTime(4096, 1024, 20000)
+	ratio := t2k / t1k
+	if ratio < 1.8 {
+		t.Errorf("huge-batch scaling %.2f, want near 2 (compute bound)", ratio)
+	}
+}

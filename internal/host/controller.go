@@ -1,0 +1,603 @@
+package host
+
+import (
+	"fmt"
+
+	"newton/internal/addr"
+	"newton/internal/aim"
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/layout"
+)
+
+// Controller is the host memory controller driving Newton channels. It
+// owns one AiM engine per channel, per-channel clocks (channels operate
+// independently but synchronize at layer boundaries, where every output
+// is needed before the next layer starts), and the refresh schedule.
+type Controller struct {
+	cfg  dram.Config
+	opts Options
+
+	// Trace, when non-nil, observes every issued command with its cycle
+	// and result: the hook behind newton-trace's Fig. 7-style dumps.
+	Trace func(ch int, cmd dram.Command, cycle int64, res aim.Result)
+
+	engines []*aim.Engine
+	// now is each channel's local clock: the issue cycle of its most
+	// recent command.
+	now []int64
+	// nextRefresh is each channel's next refresh deadline (tREFI cadence).
+	nextRefresh []int64
+	// rows partitions each bank's row space: AiM matrices grow up from
+	// row 0 in super-page units, conventional data grows down from the
+	// top, so AiM and non-AiM data may share banks but never a DRAM row
+	// (the paper's same-row restriction, §III-A).
+	rows *addr.RowAllocator
+}
+
+// NewController builds a controller and its channels.
+func NewController(cfg dram.Config, opts Options) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		opts:        opts,
+		engines:     make([]*aim.Engine, cfg.Geometry.Channels),
+		now:         make([]int64, cfg.Geometry.Channels),
+		nextRefresh: make([]int64, cfg.Geometry.Channels),
+	}
+	c.rows = addr.NewRowAllocator(cfg.Geometry.Rows)
+	for i := range c.engines {
+		ch, err := dram.NewChannel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.engines[i] = aim.NewEngineWithLatches(ch, opts.Latches())
+		c.nextRefresh[i] = cfg.Timing.TREFI
+	}
+	return c, nil
+}
+
+// Config returns the controller's DRAM configuration.
+func (c *Controller) Config() dram.Config { return c.cfg }
+
+// Options returns the active optimization set.
+func (c *Controller) Options() Options { return c.opts }
+
+// Engine returns channel i's AiM engine, for tests and tracing.
+func (c *Controller) Engine(i int) *aim.Engine { return c.engines[i] }
+
+// Now returns the global clock: the maximum of the channel clocks.
+func (c *Controller) Now() int64 {
+	var max int64
+	for _, n := range c.now {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SetActivation installs an in-DRAM activation LUT on every channel (the
+// no-reuse schedule applies activations before READRES). Passing nil
+// removes it.
+func (c *Controller) SetActivation(l *aim.LUT) {
+	for _, e := range c.engines {
+		e.SetLUT(l)
+	}
+}
+
+// Stats sums the channel statistics.
+func (c *Controller) Stats() dram.Stats {
+	var s dram.Stats
+	for _, e := range c.engines {
+		s.Add(e.Channel().Stats())
+	}
+	return s
+}
+
+// Place maps a matrix onto the channels with the layout implied by the
+// options, reserving the next super-page-aligned per-bank row span, and
+// preloads it into the banks.
+func (c *Controller) Place(m *layout.Matrix) (*layout.Placement, error) {
+	// Size the footprint with a trial placement, then reserve and place.
+	trial, err := layout.NewPlacementAt(c.cfg.Geometry, c.opts.LayoutKind(), m, 0)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.rows.AllocAiM(trial.MaxRowsPerBank())
+	if err != nil {
+		return nil, err
+	}
+	p, err := layout.NewPlacementAt(c.cfg.Geometry, c.opts.LayoutKind(), m, base)
+	if err != nil {
+		return nil, err
+	}
+	channels := make([]*dram.Channel, len(c.engines))
+	for i, e := range c.engines {
+		channels[i] = e.Channel()
+	}
+	if err := p.Load(channels); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Advance moves every channel clock forward by d cycles, modeling host
+// time that DRAM cannot overlap (e.g. the exposed first-tile batch-
+// normalization latency between layers, §III-C).
+func (c *Controller) Advance(d int64) {
+	end := c.Now() + d
+	for ch := range c.now {
+		c.now[ch] = end
+	}
+}
+
+// Result reports one matrix-vector product run.
+type Result struct {
+	// Output is the raw product (before any host-side activation),
+	// accumulated in float32 on the host as partial chunk results
+	// arrive, exactly as the paper's host-side reduction does.
+	Output []float32
+	// Cycles is the wall-clock duration of the run in command-clock
+	// cycles (1 ns at the preset clock): completion minus start.
+	Cycles int64
+	// StartCycle and EndCycle bound the run on the global clock.
+	StartCycle, EndCycle int64
+	// Stats are the DRAM events of this run, summed over channels.
+	Stats dram.Stats
+	// PerChannelCycles is each channel's busy duration for this run.
+	PerChannelCycles []int64
+}
+
+// RunMVM executes one matrix-vector product on the placed matrix. All
+// channels run in parallel on their shards of matrix rows; the run ends
+// when the slowest channel finishes, and channel clocks resynchronize at
+// that point (the product is needed in full before dependent work).
+func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error) {
+	if p.Geometry() != c.cfg.Geometry {
+		return nil, fmt.Errorf("host: placement geometry differs from controller geometry")
+	}
+	if p.Kind() != c.opts.LayoutKind() {
+		return nil, fmt.Errorf("host: placement layout %v does not match options layout %v",
+			p.Kind(), c.opts.LayoutKind())
+	}
+	m := p.Matrix()
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("host: input vector length %d, matrix has %d columns", len(v), m.Cols)
+	}
+
+	start := c.Now()
+	before := c.Stats()
+	out := make([]float32, m.Rows)
+	res := &Result{Output: out, StartCycle: start,
+		PerChannelCycles: make([]int64, len(c.engines))}
+
+	for ch := range c.engines {
+		// Channels run concurrently in hardware; simulating them one
+		// after another is exact because they share no state.
+		c.now[ch] = start
+		finish, err := c.runChannel(ch, p, v, out)
+		if err != nil {
+			return nil, fmt.Errorf("host: channel %d: %w", ch, err)
+		}
+		res.PerChannelCycles[ch] = finish - start
+	}
+
+	end := c.Now()
+	for ch := range c.now {
+		c.now[ch] = end
+	}
+	res.EndCycle = end
+	res.Cycles = end - start
+	res.Stats = c.Stats().Diff(before)
+	return res, nil
+}
+
+// issue schedules cmd at its earliest legal cycle at or after the
+// channel's clock and advances the clock to the issue cycle. The host
+// issues commands in program order per channel, which is how a real
+// in-order AiM command queue behaves.
+func (c *Controller) issue(ch int, cmd dram.Command) (aim.Result, error) {
+	e := c.engines[ch]
+	at := e.EarliestIssue(cmd, c.now[ch])
+	r, err := e.Issue(cmd, at)
+	if err != nil {
+		return aim.Result{}, err
+	}
+	c.now[ch] = at
+	if c.Trace != nil {
+		c.Trace(ch, cmd, at, r)
+	}
+	return r, nil
+}
+
+// maybeRefresh implements the paper's refresh policy (§III-E): a Newton
+// operation must not be interrupted mid-row, so before starting one the
+// controller catches up on refreshes already due, and if the next refresh
+// would mature during the operation (estimated at est cycles) it waits
+// for the refresh to mature, refreshes, and only then starts the
+// operation. An operation longer than tREFI (possible for the
+// de-optimized variants) simply accrues postponed refreshes that are paid
+// back at the next boundary, as JEDEC refresh postponing allows. Banks
+// must be precharged, which is true at tile boundaries.
+func (c *Controller) maybeRefresh(ch int, est int64) error {
+	ref := func() error {
+		if c.nextRefresh[ch] > c.now[ch] {
+			c.now[ch] = c.nextRefresh[ch]
+		}
+		if _, err := c.issue(ch, dram.Command{Kind: dram.KindREF}); err != nil {
+			return err
+		}
+		c.nextRefresh[ch] += c.cfg.Timing.TREFI
+		return nil
+	}
+	for c.nextRefresh[ch] <= c.now[ch] {
+		if err := ref(); err != nil {
+			return err
+		}
+	}
+	if c.nextRefresh[ch] <= c.now[ch]+est {
+		return ref()
+	}
+	return nil
+}
+
+// colIOs returns how many column I/Os of chunk hold live matrix columns
+// (the host skips sub-chunks that are pure padding).
+func (c *Controller) colIOs(p *layout.Placement, chunk int) int {
+	return p.UsedColIOs(chunk)
+}
+
+// loadGlobalBuffer GWRITEs the chunk's live slots into the channel's
+// global buffer, serialized before the activations as the paper's
+// controller does.
+func (c *Controller) loadGlobalBuffer(ch int, chunkVec bf16.Vector, slots int) error {
+	lanes := c.cfg.Geometry.ColBits / 16
+	for s := 0; s < slots; s++ {
+		data := chunkVec[s*lanes : (s+1)*lanes].Bytes()
+		if _, err := c.issue(ch, dram.Command{Kind: dram.KindGWRITE, Col: s, Data: data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadBufferAndActivate loads the buffer and opens dramRow in every
+// bank. With OverlapBufferLoad it interleaves the column-bus GWRITEs
+// with the row-bus activations, issuing whichever is legal earlier;
+// otherwise it serializes them, as the paper's controller does.
+func (c *Controller) loadBufferAndActivate(ch int, chunkVec bf16.Vector, slots, dramRow int) error {
+	if !c.opts.OverlapBufferLoad {
+		if err := c.loadGlobalBuffer(ch, chunkVec, slots); err != nil {
+			return err
+		}
+		return c.activateRow(ch, dramRow)
+	}
+	return c.overlapLoadActivate(ch, chunkVec, slots, dramRow)
+}
+
+// overlapLoadActivate overlaps the global-buffer load (column-bus
+// GWRITEs) with the row activations for dramRow (row-bus ACT/G_ACTs):
+// the two command streams use separate buses, so a real controller
+// interleaves them rather than serializing. The paper's §III-F model
+// treats activation overhead as exposed once per tile; the buffer load,
+// which this overlap hides under, is outside that model. Commands issue
+// in earliest-first order, activations winning ties.
+func (c *Controller) overlapLoadActivate(ch int, chunkVec bf16.Vector, slots, dramRow int) error {
+	lanes := c.cfg.Geometry.ColBits / 16
+	var acts []dram.Command
+	if c.opts.GangedActivation {
+		for cl := 0; cl < c.cfg.Geometry.Clusters(); cl++ {
+			acts = append(acts, dram.Command{Kind: dram.KindGACT, Cluster: cl, Row: dramRow})
+		}
+	} else {
+		for b := 0; b < c.cfg.Geometry.Banks; b++ {
+			acts = append(acts, dram.Command{Kind: dram.KindACT, Bank: b, Row: dramRow})
+		}
+	}
+	slot := 0
+	for len(acts) > 0 || slot < slots {
+		var next dram.Command
+		switch {
+		case len(acts) == 0:
+			next = dram.Command{Kind: dram.KindGWRITE, Col: slot,
+				Data: chunkVec[slot*lanes : (slot+1)*lanes].Bytes()}
+			slot++
+		case slot >= slots:
+			next = acts[0]
+			acts = acts[1:]
+		default:
+			actAt := c.engines[ch].EarliestIssue(acts[0], c.now[ch])
+			gw := dram.Command{Kind: dram.KindGWRITE, Col: slot,
+				Data: chunkVec[slot*lanes : (slot+1)*lanes].Bytes()}
+			if gwAt := c.engines[ch].EarliestIssue(gw, c.now[ch]); gwAt < actAt {
+				next = gw
+				slot++
+			} else {
+				next = acts[0]
+				acts = acts[1:]
+			}
+		}
+		if _, err := c.issue(ch, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// activateRow opens dramRow in every bank, ganged or per bank.
+func (c *Controller) activateRow(ch, dramRow int) error {
+	if c.opts.GangedActivation {
+		for cl := 0; cl < c.cfg.Geometry.Clusters(); cl++ {
+			if _, err := c.issue(ch, dram.Command{Kind: dram.KindGACT, Cluster: cl, Row: dramRow}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for b := 0; b < c.cfg.Geometry.Banks; b++ {
+		if _, err := c.issue(ch, dram.Command{Kind: dram.KindACT, Bank: b, Row: dramRow}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeRow issues the compute commands consuming `slots` sub-chunks of
+// the open row in every bank, accumulating into the given result latch,
+// expanded according to the gang/complex optimization flags.
+func (c *Controller) computeRow(ch, slots, latch int) error {
+	banks := c.cfg.Geometry.Banks
+	issue := func(cmd dram.Command) error {
+		_, err := c.issue(ch, cmd)
+		return err
+	}
+	for s := 0; s < slots; s++ {
+		switch {
+		case c.opts.GangedCompute && c.opts.ComplexCommands:
+			if err := issue(dram.Command{Kind: dram.KindCOMP, Col: s, Latch: latch}); err != nil {
+				return err
+			}
+		case c.opts.GangedCompute: // three simple commands, all banks each
+			if err := issue(dram.Command{Kind: dram.KindBCAST, Col: s}); err != nil {
+				return err
+			}
+			if err := issue(dram.Command{Kind: dram.KindCOLRD, Bank: aim.AllBanks, Col: s}); err != nil {
+				return err
+			}
+			if err := issue(dram.Command{Kind: dram.KindMAC, Bank: aim.AllBanks, Latch: latch}); err != nil {
+				return err
+			}
+		case c.opts.ComplexCommands: // one fused command per bank
+			for b := 0; b < banks; b++ {
+				if err := issue(dram.Command{Kind: dram.KindCOMPBank, Bank: b, Col: s, Latch: latch}); err != nil {
+					return err
+				}
+			}
+		default: // three simple commands per bank
+			for b := 0; b < banks; b++ {
+				if err := issue(dram.Command{Kind: dram.KindBCAST, Bank: b, Col: s}); err != nil {
+					return err
+				}
+				if err := issue(dram.Command{Kind: dram.KindCOLRD, Bank: b, Col: s}); err != nil {
+					return err
+				}
+				if err := issue(dram.Command{Kind: dram.KindMAC, Bank: b, Latch: latch}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// estimateTile upper-bounds a tile's duration for the refresh decision.
+func (c *Controller) estimateTile(slots int, withBufferLoad bool) int64 {
+	t := c.cfg.Timing
+	g := c.cfg.Geometry
+	perSlot := int64(1)
+	if !c.opts.ComplexCommands {
+		perSlot = 3
+	}
+	if !c.opts.GangedCompute {
+		perSlot *= int64(g.Banks)
+	}
+	colCmds := int64(slots)*perSlot + 1 // + READRES
+	if withBufferLoad {
+		colCmds += int64(slots)
+	}
+	rowCmds := int64(g.Clusters())
+	if !c.opts.GangedActivation {
+		rowCmds = int64(g.Banks)
+	}
+	actGap := t.TRRD
+	if t.TFAW > actGap {
+		actGap = t.TFAW
+	}
+	slot := t.CmdSlot
+	if t.TCCD > slot {
+		slot = t.TCCD
+	}
+	return rowCmds*actGap + t.TRCD + colCmds*slot + t.TMAC + t.TRP
+}
+
+// runChannel executes the channel's shard of the product and returns the
+// channel's finish cycle. out receives this channel's matrix rows.
+func (c *Controller) runChannel(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+	switch {
+	case c.opts.Reuse:
+		return c.runChannelInterleaved(ch, p, v, out)
+	case c.opts.Latches() > 1:
+		return c.runChannelQuadLatch(ch, p, v, out)
+	default:
+		return c.runChannelRowMajor(ch, p, v, out)
+	}
+}
+
+// runChannelInterleaved is Algorithm 1: hold one input chunk in the
+// global buffer and sweep it down all the channel's tiles (column-major
+// tile traversal), reading one partial output element per bank per tile.
+func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+	ct := p.ChannelTiles(ch)
+	if ct == 0 {
+		return c.now[ch], nil
+	}
+	for chunk := 0; chunk < p.NumChunks(); chunk++ {
+		chunkVec, err := p.ChunkVector(v, chunk)
+		if err != nil {
+			return 0, err
+		}
+		slots := c.colIOs(p, chunk)
+		est := c.estimateTile(slots, false)
+		if err := c.maybeRefresh(ch, est+int64(slots)*c.cfg.Timing.CmdSlot); err != nil {
+			return 0, err
+		}
+		// The chunk's buffer load overlaps the first tile's activations.
+		if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, 0)); err != nil {
+			return 0, err
+		}
+		for lt := 0; lt < ct; lt++ {
+			if lt > 0 {
+				// The first tile's banks are already open (and a refresh
+				// here would be illegal anyway).
+				if err := c.maybeRefresh(ch, est); err != nil {
+					return 0, err
+				}
+				if err := c.activateRow(ch, p.RowFor(ch, chunk, lt)); err != nil {
+					return 0, err
+				}
+			}
+			if err := c.computeRow(ch, slots, 0); err != nil {
+				return 0, err
+			}
+			// Close the banks; the row-bus precharge overlaps with the
+			// column-bus result read.
+			if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+				return 0, err
+			}
+			r, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES})
+			if err != nil {
+				return 0, err
+			}
+			tile := p.GlobalTile(ch, lt)
+			for b, val := range r.Results {
+				if row, ok := p.MatrixRow(tile, b); ok {
+					out[row] += val.Float32()
+				}
+			}
+		}
+	}
+	return c.now[ch], nil
+}
+
+// runChannelQuadLatch is the §III-C intermediate design point: row-major
+// layout (full matrix-row accumulation, minimal output traffic) with L
+// result latches per bank, so one global-buffer load is reused among L
+// matrix rows per bank instead of one. The paper found it buys almost
+// nothing over full-reuse Newton and costs latch area.
+func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+	ct := p.ChannelTiles(ch)
+	if ct == 0 {
+		return c.now[ch], nil
+	}
+	latches := c.opts.Latches()
+	for g := 0; g*latches < ct; g++ {
+		size := ct - g*latches
+		if size > latches {
+			size = latches
+		}
+		for chunk := 0; chunk < p.NumChunks(); chunk++ {
+			chunkVec, err := p.ChunkVector(v, chunk)
+			if err != nil {
+				return 0, err
+			}
+			slots := c.colIOs(p, chunk)
+			est := int64(size)*c.estimateTile(slots, false) + int64(slots)*c.cfg.Timing.CmdSlot
+			if err := c.maybeRefresh(ch, est); err != nil {
+				return 0, err
+			}
+			// One input fetch serves `size` matrix rows per bank, with
+			// the first row's activations overlapped under the fetch.
+			if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, g*latches)); err != nil {
+				return 0, err
+			}
+			for r := 0; r < size; r++ {
+				lt := g*latches + r
+				if r > 0 {
+					if err := c.activateRow(ch, p.RowFor(ch, chunk, lt)); err != nil {
+						return 0, err
+					}
+				}
+				if err := c.computeRow(ch, slots, r); err != nil {
+					return 0, err
+				}
+				if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+					return 0, err
+				}
+			}
+		}
+		// One result read per full matrix row, L rows per group.
+		for r := 0; r < size; r++ {
+			res, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES, Latch: r})
+			if err != nil {
+				return 0, err
+			}
+			tile := p.GlobalTile(ch, g*latches+r)
+			for b, val := range res.Results {
+				if row, ok := p.MatrixRow(tile, b); ok {
+					out[row] = val.Float32()
+				}
+			}
+		}
+	}
+	return c.now[ch], nil
+}
+
+// runChannelRowMajor is the Newton-no-reuse schedule (§III-C): row-major
+// tile traversal accumulates a full matrix row per bank (one READRES per
+// tile instead of one per DRAM row) but must re-fetch the input chunk
+// into the global buffer for every tile.
+func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+	ct := p.ChannelTiles(ch)
+	if ct == 0 {
+		return c.now[ch], nil
+	}
+	for lt := 0; lt < ct; lt++ {
+		for chunk := 0; chunk < p.NumChunks(); chunk++ {
+			chunkVec, err := p.ChunkVector(v, chunk)
+			if err != nil {
+				return 0, err
+			}
+			slots := c.colIOs(p, chunk)
+			if err := c.maybeRefresh(ch, c.estimateTile(slots, true)); err != nil {
+				return 0, err
+			}
+			// The input chunk is re-fetched for every tile - the traffic
+			// rise that makes this variant lose - with the activations
+			// overlapped under the re-fetch.
+			if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, lt)); err != nil {
+				return 0, err
+			}
+			if err := c.computeRow(ch, slots, 0); err != nil {
+				return 0, err
+			}
+			if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+				return 0, err
+			}
+		}
+		// One result read per full matrix row (per tile).
+		r, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES})
+		if err != nil {
+			return 0, err
+		}
+		tile := p.GlobalTile(ch, lt)
+		for b, val := range r.Results {
+			if row, ok := p.MatrixRow(tile, b); ok {
+				out[row] = val.Float32()
+			}
+		}
+	}
+	return c.now[ch], nil
+}

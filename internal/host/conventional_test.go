@@ -1,0 +1,136 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"newton/internal/layout"
+)
+
+func TestConventionalRoundTrip(t *testing.T) {
+	c, err := NewController(testCfg(), Newton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.AllocConventional(200 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() < 200*1024 {
+		t.Fatalf("region too small: %d", r.Bytes())
+	}
+	// A pattern spanning many blocks, channels, banks and rows.
+	data := make([]byte, 70000)
+	for i := range data {
+		data[i] = byte(i*7 + i>>8)
+	}
+	if err := c.WriteConventional(r, 12345, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadConventional(r, 12345, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("conventional read-back mismatch")
+	}
+	// Unaligned small accesses (read-modify-write path).
+	if err := c.WriteConventional(r, 7, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	small, err := c.ReadConventional(r, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[1] != 1 || small[2] != 2 || small[3] != 3 {
+		t.Errorf("partial-block write lost: %v", small)
+	}
+}
+
+func TestConventionalBounds(t *testing.T) {
+	c, _ := NewController(testCfg(), Newton())
+	r, err := c.AllocConventional(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteConventional(r, r.Bytes()-1, []byte{1, 2}); err == nil {
+		t.Error("out-of-region write accepted")
+	}
+	if _, err := c.ReadConventional(r, -1, 4); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := c.AllocConventional(0); err == nil {
+		t.Error("zero-byte region accepted")
+	}
+}
+
+func TestConventionalCoexistsWithAiM(t *testing.T) {
+	// The paper's §III-A/III-D coexistence story: ordinary data in the
+	// same banks as a matrix, accessed between AiM operations, never
+	// disturbing the products.
+	c, err := NewController(testCfg(), Newton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := layout.RandomMatrix(64, 700, 71)
+	p, err := c.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.AllocConventional(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.baseRow <= p.BaseRow() {
+		t.Fatal("conventional region does not sit above the AiM region")
+	}
+	v := randomVector(700, 72)
+	first, err := c.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5, 0x3C}, 8192)
+	if err := c.WriteConventional(r, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, second.Output, first.Output, "post-conventional-traffic")
+	got, err := c.ReadConventional(r, 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("AiM run corrupted conventional data")
+	}
+	// Conventional traffic takes simulated time like everything else.
+	if second.StartCycle <= first.EndCycle {
+		t.Error("conventional accesses consumed no simulated time")
+	}
+}
+
+func TestAiMAndConventionalExhaustTogether(t *testing.T) {
+	cfg := testCfg()
+	cfg.Geometry.Rows = 64
+	c, err := NewController(cfg, Newton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill most of the space with a matrix, then over-reserve.
+	m := layout.RandomMatrix(16*20, 512, 73) // 20 tiles / 2 channels = 10 rows -> 16 (super page)
+	if _, err := c.Place(m); err != nil {
+		t.Fatal(err)
+	}
+	perRow := int64(cfg.Geometry.Channels) * int64(cfg.Geometry.Banks) * int64(cfg.Geometry.RowBytes())
+	if _, err := c.AllocConventional(perRow * 48); err != nil {
+		t.Fatal(err) // exactly fits: 16 + 48 = 64
+	}
+	if _, err := c.AllocConventional(1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := c.Place(layout.RandomMatrix(16, 512, 74)); err == nil {
+		t.Error("AiM over-allocation accepted")
+	}
+}

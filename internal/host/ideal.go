@@ -1,0 +1,280 @@
+package host
+
+import (
+	"fmt"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/layout"
+)
+
+// IdealNonPIM is the paper's upper bound on any non-PIM architecture
+// (§IV): a host with infinite compute bandwidth, limited only by the
+// DRAM's external interface. Its execution time for a matrix-vector
+// product is the time to stream the matrix out of DRAM at full external
+// bandwidth; input and output vectors are held on the compute die for
+// free, so batching does not change its run time at all.
+//
+// The baseline runs through the same cycle-level DRAM simulator as
+// Newton: real ACT/RD/PRE command streams with row activations and
+// precharges overlapped under column streaming (possible because row and
+// column commands use separate buses), and the same refresh schedule.
+type IdealNonPIM struct {
+	cfg   dram.Config
+	chans []*dram.Channel
+	now   []int64
+	next  []int64 // next refresh deadline per channel
+
+	// Compute controls whether the host actually folds the streamed data
+	// into a matrix-vector product (functional validation) or just
+	// models the transfer time. Timing is identical either way.
+	Compute bool
+
+	nextFreeRow int
+}
+
+// NewIdealNonPIM builds the baseline with its own channels.
+func NewIdealNonPIM(cfg dram.Config) (*IdealNonPIM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &IdealNonPIM{
+		cfg:     cfg,
+		chans:   make([]*dram.Channel, cfg.Geometry.Channels),
+		now:     make([]int64, cfg.Geometry.Channels),
+		next:    make([]int64, cfg.Geometry.Channels),
+		Compute: true,
+	}
+	for i := range h.chans {
+		ch, err := dram.NewChannel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.chans[i] = ch
+		h.next[i] = cfg.Timing.TREFI
+	}
+	return h, nil
+}
+
+// Place loads the matrix with the interleaved layout (the layout is
+// irrelevant to the ideal host's run time - it streams every byte once -
+// but using the same placement lets the functional check reuse the
+// coordinate mapping).
+func (h *IdealNonPIM) Place(m *layout.Matrix) (*layout.Placement, error) {
+	p, err := layout.NewPlacementAt(h.cfg.Geometry, layout.Interleaved, m, h.nextFreeRow)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Load(h.chans); err != nil {
+		return nil, err
+	}
+	h.nextFreeRow += p.MaxRowsPerBank()
+	return p, nil
+}
+
+// Advance moves every channel clock forward by d cycles (exposed host
+// latency between layers), mirroring Controller.Advance.
+func (h *IdealNonPIM) Advance(d int64) {
+	end := h.Now() + d
+	for ch := range h.now {
+		h.now[ch] = end
+	}
+}
+
+// Now returns the global clock across channels.
+func (h *IdealNonPIM) Now() int64 {
+	var max int64
+	for _, n := range h.now {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Stats sums channel statistics.
+func (h *IdealNonPIM) Stats() dram.Stats {
+	var s dram.Stats
+	for _, ch := range h.chans {
+		s.Add(ch.Stats())
+	}
+	return s
+}
+
+func (h *IdealNonPIM) issue(ch int, cmd dram.Command) (dram.IssueResult, error) {
+	at := h.chans[ch].EarliestIssue(cmd, h.now[ch])
+	r, err := h.chans[ch].Issue(cmd, at)
+	if err != nil {
+		return dram.IssueResult{}, err
+	}
+	h.now[ch] = at
+	return r, nil
+}
+
+// maybeRefresh issues any refresh maturing within the next row's burst,
+// closing the still-open banks first. open[b] tracks which banks hold an
+// open row; it is updated in place. It reports whether a refresh fired
+// (so the caller can re-open its working row).
+func (h *IdealNonPIM) maybeRefresh(ch int, open []bool) (bool, error) {
+	t := h.cfg.Timing
+	// A row's streaming takes about Cols*TCCD; refresh between rows.
+	est := int64(h.cfg.Geometry.Cols) * t.TCCD
+	fired := false
+	for h.next[ch] <= h.now[ch]+est {
+		for b, isOpen := range open {
+			if !isOpen {
+				continue
+			}
+			if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: b}); err != nil {
+				return fired, err
+			}
+			open[b] = false
+		}
+		if h.next[ch] > h.now[ch] {
+			h.now[ch] = h.next[ch]
+		}
+		if _, err := h.issue(ch, dram.Command{Kind: dram.KindREF}); err != nil {
+			return fired, err
+		}
+		h.next[ch] += t.TREFI
+		fired = true
+		if est >= t.TREFI {
+			// Avoid chasing our own tail when the burst exceeds tREFI;
+			// later refreshes are postponed to the next boundary.
+			break
+		}
+	}
+	return fired, nil
+}
+
+// RunMVM streams the placed matrix once over the external interface and,
+// when Compute is set, folds the data into the product on the host.
+// The returned Result mirrors the Newton controller's.
+func (h *IdealNonPIM) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error) {
+	m := p.Matrix()
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("host: input vector length %d, matrix has %d columns", len(v), m.Cols)
+	}
+	start := h.Now()
+	before := h.Stats()
+	out := make([]float32, m.Rows)
+	res := &Result{Output: out, StartCycle: start,
+		PerChannelCycles: make([]int64, len(h.chans))}
+
+	geo := h.cfg.Geometry
+	for ch := range h.chans {
+		h.now[ch] = start
+		ct := p.ChannelTiles(ch)
+		if ct == 0 {
+			res.PerChannelCycles[ch] = 0
+			continue
+		}
+		rowsPerBank := ct * p.NumChunks()
+		type loc struct{ bank, row int }
+		// Stream bank-major within each DRAM row index so consecutive
+		// transfers come from different banks and the next activation
+		// hides under the current row's 32-column burst.
+		locs := make([]loc, 0, rowsPerBank*geo.Banks)
+		for r := 0; r < rowsPerBank; r++ {
+			for b := 0; b < geo.Banks; b++ {
+				locs = append(locs, loc{b, p.BaseRow() + r})
+			}
+		}
+		open := make([]bool, geo.Banks)
+		if _, err := h.maybeRefresh(ch, open); err != nil {
+			return nil, err
+		}
+		for i, lc := range locs {
+			// Open this location's row if the overlapped activation below
+			// did not already (first location, after a refresh, or with a
+			// single bank, where no overlap is possible).
+			if !open[lc.bank] {
+				if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: lc.bank, Row: lc.row}); err != nil {
+					return nil, err
+				}
+				open[lc.bank] = true
+			}
+			// Stream only the row's live matrix bytes: the ideal host is
+			// bounded by the matrix size, not by layout padding.
+			usedCols := p.UsedColIOs(p.ChunkOfRow(ch, lc.row))
+			for col := 0; col < usedCols; col++ {
+				r, err := h.issue(ch, dram.Command{Kind: dram.KindRD, Bank: lc.bank, Col: col})
+				if err != nil {
+					return nil, err
+				}
+				if h.Compute {
+					h.fold(p, ch, lc.bank, lc.row, col, r.Data, v, out)
+				}
+				switch col {
+				case 0:
+					// Close the previous location's bank on the row bus,
+					// hidden under this row's column burst.
+					if i > 0 {
+						if pv := locs[i-1]; pv.bank != lc.bank && open[pv.bank] {
+							if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: pv.bank}); err != nil {
+								return nil, err
+							}
+							open[pv.bank] = false
+						}
+					}
+				case 1:
+					// Overlap the next location's activation, likewise.
+					if i+1 < len(locs) {
+						if nx := locs[i+1]; nx.bank != lc.bank && !open[nx.bank] {
+							if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: nx.bank, Row: nx.row}); err != nil {
+								return nil, err
+							}
+							open[nx.bank] = true
+						}
+					}
+				}
+			}
+			if geo.Banks == 1 {
+				// No overlap possible: close before the next activation.
+				if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: lc.bank}); err != nil {
+					return nil, err
+				}
+				open[lc.bank] = false
+			}
+			if _, err := h.maybeRefresh(ch, open); err != nil {
+				return nil, err
+			}
+		}
+		for b, isOpen := range open {
+			if !isOpen {
+				continue
+			}
+			if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: b}); err != nil {
+				return nil, err
+			}
+		}
+		res.PerChannelCycles[ch] = h.now[ch] - start
+	}
+
+	end := h.Now()
+	for ch := range h.now {
+		h.now[ch] = end
+	}
+	res.EndCycle = end
+	res.Cycles = end - start
+	res.Stats = h.Stats().Diff(before)
+	return res, nil
+}
+
+// fold accumulates the streamed column I/O into the host-side product
+// using the placement's inverse coordinate mapping: the "infinite
+// compute" host keeps up with the stream by assumption.
+func (h *IdealNonPIM) fold(p *layout.Placement, ch, bank, row, col int, data []byte, v bf16.Vector, out []float32) {
+	lanes := h.cfg.Geometry.ColBits / 16
+	colData, err := bf16.VectorFromBytes(data)
+	if err != nil {
+		return
+	}
+	for lane := 0; lane < lanes; lane++ {
+		i, j, ok := p.InvCoord(layout.Coord{Channel: ch, Bank: bank, Row: row, Col: col, Lane: lane})
+		if !ok {
+			continue
+		}
+		out[i] += colData[lane].Float32() * v[j].Float32()
+	}
+}

@@ -1,0 +1,94 @@
+package host
+
+import (
+	"testing"
+
+	"newton/internal/dram"
+	"newton/internal/layout"
+)
+
+func TestQuadLatchMatchesDatapathReference(t *testing.T) {
+	// The quad-latch schedule changes command traffic and latch usage but
+	// accumulates each matrix row in the same order as the row-major
+	// datapath reference.
+	m := layout.RandomMatrix(160, 1100, 51) // 10 tiles: groups of 4,4,2 per channel
+	v := randomVector(1100, 52)
+	res, p := runMVM(t, testCfg(), QuadLatch(), m, v)
+	want, err := DatapathReference(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, res.Output, want, "quad-latch")
+}
+
+func TestQuadLatchFetchesInputLessOftenThanNoReuse(t *testing.T) {
+	m := layout.RandomMatrix(256, 1024, 53)
+	v := randomVector(1024, 54)
+	quad, _ := runMVM(t, testCfg(), QuadLatch(), m, v)
+	noreuse, _ := runMVM(t, testCfg(), NoReuse(), m, v)
+	// Same layout, but the input chunk loads once per four matrix rows
+	// instead of once per row: about a 4x traffic reduction.
+	ratio := float64(noreuse.Stats.Count(dram.KindGWRITE)) / float64(quad.Stats.Count(dram.KindGWRITE))
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("GWRITE ratio no-reuse/quad = %.2f, want about 4", ratio)
+	}
+	if quad.Cycles >= noreuse.Cycles {
+		t.Errorf("quad-latch (%d) not faster than no-reuse (%d)", quad.Cycles, noreuse.Cycles)
+	}
+}
+
+func TestQuadLatchNoAdvantageOverNewton(t *testing.T) {
+	// The paper's conclusion: full-reuse Newton performs at least as
+	// well as the quad-latch option, which then loses on latch area. In
+	// our timing the quad variant's exposed per-group buffer reloads
+	// cost it a modest constant factor; it must never win, and must stay
+	// in the same performance class (far from the no-reuse collapse).
+	m := layout.RandomMatrix(256, 1024, 55)
+	v := randomVector(1024, 56)
+	newton, _ := runMVM(t, testCfg(), Newton(), m, v)
+	quad, _ := runMVM(t, testCfg(), QuadLatch(), m, v)
+	ratio := float64(quad.Cycles) / float64(newton.Cycles)
+	if ratio < 1.0 {
+		t.Errorf("quad-latch beat Newton (%.2fx): the paper found no advantage", ratio)
+	}
+	if ratio > 1.5 {
+		t.Errorf("quad-latch %.2fx slower: should be in Newton's class, not no-reuse's", ratio)
+	}
+}
+
+func TestQuadLatchSmallMatrix(t *testing.T) {
+	// Fewer matrix rows per bank than latches: the ragged final group
+	// must still be exact (the paper calls out benchmarks with fewer
+	// than four matrix rows per bank).
+	m := layout.RandomMatrix(40, 600, 57) // 3 tiles over 2 channels: groups of 2 and 1
+	v := randomVector(600, 58)
+	res, p := runMVM(t, testCfg(), QuadLatch(), m, v)
+	want, err := DatapathReference(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, res.Output, want, "quad-latch small")
+}
+
+func TestLatchesDefault(t *testing.T) {
+	if (Options{}).Latches() != 1 {
+		t.Error("zero LatchesPerBank should mean 1")
+	}
+	if QuadLatch().Latches() != 4 {
+		t.Error("QuadLatch should have 4 latches")
+	}
+	if QuadLatch().LayoutKind() != layout.RowMajor {
+		t.Error("QuadLatch should use the row-major layout")
+	}
+}
+
+func TestNormExposureResolution(t *testing.T) {
+	o := Newton()
+	if o.NormExposure(512) != o.NormExposureCycles {
+		t.Error("explicit exposure not honored")
+	}
+	o.NormExposureCycles = AutoNormExposure
+	if got := o.NormExposure(512); got != 64 {
+		t.Errorf("auto exposure = %d, want 512/8", got)
+	}
+}

@@ -1,0 +1,96 @@
+package host
+
+import (
+	"fmt"
+
+	"newton/internal/aim"
+	"newton/internal/bf16"
+	"newton/internal/layout"
+)
+
+// DatapathReference computes the matrix-vector product in software with
+// exactly the arithmetic order and precision of Newton's datapath: 16
+// bfloat16 multipliers, a pairwise bfloat16 adder tree, a bfloat16
+// result latch accumulating across the column accesses the schedule
+// issues, and float32 host-side reduction of chunk partials (the
+// interleaved schedule) or direct assignment of full-row latches (the
+// row-major schedule).
+//
+// Because the gang/complex command expansions change only command
+// traffic, not arithmetic order, every optimization combination of a
+// given layout must match this reference bit-for-bit - the strongest
+// plumbing check the tests have.
+func DatapathReference(p *layout.Placement, v bf16.Vector) ([]float32, error) {
+	m := p.Matrix()
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("host: input vector length %d, matrix has %d columns", len(v), m.Cols)
+	}
+	geo := p.Geometry()
+	lanes := geo.ColBits / 16
+	out := make([]float32, m.Rows)
+
+	// rowLatch computes the bfloat16 latch value accumulated over one
+	// DRAM row (one chunk of one matrix row), starting from prev.
+	rowLatch := func(prev bf16.Num, hasPrev bool, matRow, chunk int, chunkVec bf16.Vector) (bf16.Num, bool) {
+		latch, has := prev, hasPrev
+		slots := p.UsedColIOs(chunk)
+		for col := 0; col < slots; col++ {
+			products := make(bf16.Vector, lanes)
+			for lane := 0; lane < lanes; lane++ {
+				j := chunk*p.ChunkElems() + col*lanes + lane
+				var f bf16.Num // zero padding past the matrix edge
+				if matRow < m.Rows && j < m.Cols {
+					f = m.At(matRow, j)
+				}
+				products[lane] = bf16.Mul(f, chunkVec[col*lanes+lane])
+			}
+			sum := aim.TreeReduce(products)
+			if has {
+				latch = bf16.Add(latch, sum)
+			} else {
+				latch, has = sum, true
+			}
+		}
+		return latch, has
+	}
+
+	switch p.Kind() {
+	case layout.Interleaved:
+		for chunk := 0; chunk < p.NumChunks(); chunk++ {
+			chunkVec, err := p.ChunkVector(v, chunk)
+			if err != nil {
+				return nil, err
+			}
+			for tile := 0; tile < p.Tiles(); tile++ {
+				for b := 0; b < geo.Banks; b++ {
+					matRow, ok := p.MatrixRow(tile, b)
+					latch, _ := rowLatch(0, false, matRow, chunk, chunkVec)
+					if ok {
+						out[matRow] += latch.Float32()
+					}
+				}
+			}
+		}
+	case layout.RowMajor:
+		for tile := 0; tile < p.Tiles(); tile++ {
+			for b := 0; b < geo.Banks; b++ {
+				matRow, ok := p.MatrixRow(tile, b)
+				var latch bf16.Num
+				has := false
+				for chunk := 0; chunk < p.NumChunks(); chunk++ {
+					chunkVec, err := p.ChunkVector(v, chunk)
+					if err != nil {
+						return nil, err
+					}
+					latch, has = rowLatch(latch, has, matRow, chunk, chunkVec)
+				}
+				if ok {
+					out[matRow] = latch.Float32()
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("host: unknown layout kind %v", p.Kind())
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"testing"
+
+	"newton/internal/bf16"
+)
+
+func TestNewMatrixAndAccessors(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("shape wrong: %+v", m)
+	}
+	m.Set(2, 3, bf16.FromFloat32(5))
+	if m.At(2, 3).Float32() != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if got := m.Row(2); got[3].Float32() != 5 {
+		t.Error("Row view wrong")
+	}
+	if m.SizeBytes() != 24 {
+		t.Errorf("SizeBytes = %d", m.SizeBytes())
+	}
+}
+
+func TestMatrixBoundsPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 0) },
+		func() { m.Row(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-bounds access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewMatrixInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-row matrix did not panic")
+		}
+	}()
+	NewMatrix(0, 4)
+}
+
+func TestMatrixFromFloat32(t *testing.T) {
+	m, err := MatrixFromFloat32(2, 2, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0).Float32() != 3 {
+		t.Error("element order wrong")
+	}
+	if _, err := MatrixFromFloat32(2, 2, []float32{1}); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestRandomMatrixDeterministic(t *testing.T) {
+	a := RandomMatrix(8, 8, 42)
+	b := RandomMatrix(8, 8, 42)
+	c := RandomMatrix(8, 8, 43)
+	same, diff := true, false
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+		}
+		if a.Data[i] != c.Data[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different matrices")
+	}
+	if !diff {
+		t.Error("different seeds produced identical matrices")
+	}
+	for _, v := range a.Data {
+		f := v.Float32()
+		if f < -1 || f >= 1.01 {
+			t.Fatalf("entry %v outside [-1,1)", f)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := MatrixFromFloat32(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	v := bf16.FromFloat32Slice([]float32{1, 1, 1})
+	out, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 6 || out[1] != 15 {
+		t.Errorf("MulVec = %v", out)
+	}
+	if _, err := m.MulVec(v[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package model implements the paper's simple performance model
+// (§III-F): closed-form expressions for the time an ideal non-PIM host
+// and Newton need to consume one DRAM row (in one bank and in all banks,
+// respectively), and the resulting speedup n/(o+1). The simulator is
+// validated against this model - the paper reports agreement within 2%,
+// and package model's tests assert the same property for our simulator.
+package model
+
+import "newton/internal/dram"
+
+// Params are the quantities the §III-F model depends on.
+type Params struct {
+	// Banks is n, the number of banks per channel.
+	Banks int
+	// ClusterSize is the G_ACT gang size (4 in the paper).
+	ClusterSize int
+	// Cols is col, the number of column accesses per DRAM row.
+	Cols int
+	// TRRD, TFAW pace the ganged activations: consecutive G_ACTs are
+	// separated by max(tRRD, tFAW).
+	TRRD, TFAW int64
+	// TACT is the exposed activation overhead of the last bank group. The
+	// paper's abstract model folds row open/close costs into one tACT
+	// term; in our simulator the exposed cost per tile is precisely
+	// tRCD + tRP (open the last group, and later precharge before the
+	// next tile's activation can start), so FromConfig uses that sum.
+	TACT int64
+	// TCCD paces column accesses.
+	TCCD int64
+}
+
+// FromConfig extracts model parameters from a DRAM configuration.
+func FromConfig(cfg dram.Config) Params {
+	return Params{
+		Banks:       cfg.Geometry.Banks,
+		ClusterSize: cfg.Geometry.BanksPerCluster,
+		Cols:        cfg.Geometry.Cols,
+		TRRD:        cfg.Timing.TRRD,
+		TFAW:        cfg.Timing.TFAW,
+		TACT:        cfg.Timing.TRCD + cfg.Timing.TRP,
+		TCCD:        cfg.Timing.TCCD,
+	}
+}
+
+// actGap returns max(tRRD, tFAW), the spacing between ganged activations.
+func (p Params) actGap() int64 {
+	if p.TFAW > p.TRRD {
+		return p.TFAW
+	}
+	return p.TRRD
+}
+
+// TIdealRow is the ideal non-PIM's effective time for one DRAM row:
+// col * tCCD. Activation latency and tFAW delays hide completely under
+// the long serial retrieval of rows from the other banks (§III-F).
+func (p Params) TIdealRow() int64 { return int64(p.Cols) * p.TCCD }
+
+// TNewtonRow is Newton's time to process one DRAM row in all banks:
+//
+//	max(tRRD, tFAW) * (n/clusterSize - 1) + tACT + col*tCCD
+//
+// Ganged activations are staggered by the tFAW window, the last group's
+// activation overhead is exposed, then the column accesses stream.
+func (p Params) TNewtonRow() int64 {
+	groups := int64(p.Banks / p.ClusterSize)
+	if groups < 1 {
+		groups = 1
+	}
+	return p.actGap()*(groups-1) + p.TACT + int64(p.Cols)*p.TCCD
+}
+
+// Overhead is o: the ratio of activation overheads to data-retrieval
+// time in Newton.
+func (p Params) Overhead() float64 {
+	groups := int64(p.Banks / p.ClusterSize)
+	if groups < 1 {
+		groups = 1
+	}
+	return float64(p.actGap()*(groups-1)+p.TACT) / float64(int64(p.Cols)*p.TCCD)
+}
+
+// Speedup is Newton's predicted speedup over the ideal non-PIM:
+// n * tIdeal / tNewton = n / (o + 1).
+func (p Params) Speedup() float64 {
+	return float64(p.Banks) / (p.Overhead() + 1)
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"newton/internal/dram"
+)
+
+func aimConfig(banks int) dram.Config {
+	g := dram.HBM2EGeometry(1)
+	g.Banks = banks
+	return dram.Config{Geometry: g, Timing: dram.AiMTiming()}
+}
+
+func TestPaperAnchor(t *testing.T) {
+	// With the preset timing and 16 banks, the model must predict the
+	// paper's ~9.8x over Ideal Non-PIM.
+	p := FromConfig(aimConfig(16))
+	got := p.Speedup()
+	if math.Abs(got-9.8) > 0.15 {
+		t.Errorf("predicted speedup = %.3f, want about 9.8 (paper SIII-F)", got)
+	}
+}
+
+func TestFormulaComponents(t *testing.T) {
+	p := Params{Banks: 16, ClusterSize: 4, Cols: 32, TRRD: 6, TFAW: 18, TACT: 28, TCCD: 4}
+	if got := p.TIdealRow(); got != 128 {
+		t.Errorf("TIdealRow = %d, want 128", got)
+	}
+	if got := p.TNewtonRow(); got != 18*3+28+128 {
+		t.Errorf("TNewtonRow = %d, want %d", got, 18*3+28+128)
+	}
+	wantO := float64(18*3+28) / 128
+	if got := p.Overhead(); math.Abs(got-wantO) > 1e-12 {
+		t.Errorf("Overhead = %v, want %v", got, wantO)
+	}
+	wantS := 16 / (wantO + 1)
+	if got := p.Speedup(); math.Abs(got-wantS) > 1e-12 {
+		t.Errorf("Speedup = %v, want %v", got, wantS)
+	}
+}
+
+func TestTRRDDominatesWhenLarger(t *testing.T) {
+	p := Params{Banks: 8, ClusterSize: 4, Cols: 32, TRRD: 30, TFAW: 18, TACT: 28, TCCD: 4}
+	if got := p.TNewtonRow(); got != 30*1+28+128 {
+		t.Errorf("TNewtonRow = %d: tRRD should dominate the gap", got)
+	}
+}
+
+func TestSingleGroupHasNoStagger(t *testing.T) {
+	p := Params{Banks: 4, ClusterSize: 4, Cols: 32, TRRD: 6, TFAW: 18, TACT: 28, TCCD: 4}
+	if got := p.TNewtonRow(); got != 28+128 {
+		t.Errorf("TNewtonRow = %d, want %d (no stagger with one group)", got, 28+128)
+	}
+	small := Params{Banks: 2, ClusterSize: 4, Cols: 32, TRRD: 6, TFAW: 18, TACT: 28, TCCD: 4}
+	if small.TNewtonRow() != 28+128 {
+		t.Error("sub-cluster bank count mishandled")
+	}
+}
+
+func TestSpeedupMonotoneInBanksButSublinear(t *testing.T) {
+	s8 := FromConfig(aimConfig(8)).Speedup()
+	s16 := FromConfig(aimConfig(16)).Speedup()
+	s32 := FromConfig(aimConfig(32)).Speedup()
+	if !(s8 < s16 && s16 < s32) {
+		t.Errorf("speedup not monotone: %v %v %v", s8, s16, s32)
+	}
+	// Amdahl dampening: doubling banks must gain less than 2x.
+	if s16/s8 >= 2 || s32/s16 >= 2 {
+		t.Errorf("speedup scaled linearly (%v, %v): activation overheads ignored?", s16/s8, s32/s16)
+	}
+	// And the 16->32 step gains less than the 8->16 step.
+	if s32/s16 > s16/s8 {
+		t.Error("dampening should grow with bank count")
+	}
+}
+
+func TestAggressiveTFAWHelps(t *testing.T) {
+	aim := FromConfig(aimConfig(16))
+	conv := aim
+	conv.TFAW = dram.ConventionalTiming().TFAW
+	if conv.Speedup() >= aim.Speedup() {
+		t.Errorf("aggressive tFAW did not help: %v vs %v", aim.Speedup(), conv.Speedup())
+	}
+}
+
+func TestSpeedupBoundedByBanksProperty(t *testing.T) {
+	// Property: 1 <= speedup < banks for any sane parameters.
+	f := func(banks8, faw8, act8, cols8 uint8) bool {
+		banks := 4 * (1 + int(banks8)%16)
+		p := Params{
+			Banks:       banks,
+			ClusterSize: 4,
+			Cols:        1 + int(cols8)%64,
+			TRRD:        6,
+			TFAW:        6 + int64(faw8)%60,
+			TACT:        1 + int64(act8)%60,
+			TCCD:        4,
+		}
+		s := p.Speedup()
+		return s > 0 && s < float64(banks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromConfigUsesRCDPlusRP(t *testing.T) {
+	cfg := aimConfig(16)
+	p := FromConfig(cfg)
+	if p.TACT != cfg.Timing.TRCD+cfg.Timing.TRP {
+		t.Errorf("TACT = %d, want tRCD+tRP = %d", p.TACT, cfg.Timing.TRCD+cfg.Timing.TRP)
+	}
+	if p.Banks != 16 || p.Cols != 32 || p.TCCD != 4 {
+		t.Errorf("FromConfig mismatch: %+v", p)
+	}
+}

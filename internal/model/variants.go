@@ -1,0 +1,97 @@
+package model
+
+// Variant extends the §III-F model to the de-optimized design points of
+// the paper's Fig. 9 ablation. The paper's closed form covers only full
+// Newton, where the column bus streams one COMP per tCCD; without the
+// ganged/complex commands the column bus must carry many more commands
+// per DRAM row, and the design becomes command-bandwidth-bound:
+//
+//	tRow = tActivate + max(col*tCCD, commands*cmdSlot) [+ buffer refetch]
+//
+// which reproduces the paper's observation that Non-opt-Newton collapses
+// to near-GPU performance despite having Newton's full compute and
+// internal bandwidth.
+type Variant struct {
+	// GangedCompute / ComplexCommands select the command expansion.
+	GangedCompute   bool
+	ComplexCommands bool
+	// Reuse selects the interleaved layout; without it the input chunk
+	// is re-fetched (col commands) once per DRAM row.
+	Reuse bool
+	// GangedActivation selects G_ACT; without it each bank is activated
+	// individually under tRRD and the tFAW window.
+	GangedActivation bool
+	// CmdSlot is the per-command bus slot.
+	CmdSlot int64
+}
+
+// commandsPerRow returns the column-bus commands needed to compute one
+// DRAM row across all banks.
+func (v Variant) commandsPerRow(p Params) int64 {
+	per := int64(1)
+	if !v.ComplexCommands {
+		per = 3
+	}
+	if !v.GangedCompute {
+		per *= int64(p.Banks)
+	}
+	cmds := int64(p.Cols) * per
+	if !v.Reuse {
+		cmds += int64(p.Cols) // global-buffer re-fetch per row
+	}
+	return cmds
+}
+
+// activationOverhead returns the exposed activation time per tile.
+func (v Variant) activationOverhead(p Params) int64 {
+	if v.GangedActivation {
+		groups := int64(p.Banks / p.ClusterSize)
+		if groups < 1 {
+			groups = 1
+		}
+		return p.actGap()*(groups-1) + p.TACT
+	}
+	// Per-bank ACTs: four proceed at tRRD, then the tFAW window gates
+	// each further group of four.
+	n := int64(p.Banks)
+	if n <= 1 {
+		return p.TACT
+	}
+	groups := (n + 3) / 4
+	window := p.TFAW
+	if w := 4 * p.TRRD; w > window {
+		window = w
+	}
+	return (groups-1)*window + minI64(3, n-1)*p.TRRD + p.TACT
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TRow returns the variant's time to process one DRAM row in all banks.
+func (v Variant) TRow(p Params) int64 {
+	data := int64(p.Cols) * p.TCCD
+	cmd := v.commandsPerRow(p) * v.CmdSlot
+	stream := data
+	if cmd > stream {
+		stream = cmd
+	}
+	return v.activationOverhead(p) + stream
+}
+
+// Speedup returns the variant's predicted speedup over Ideal Non-PIM:
+// n * tIdealRow / tRow.
+func (v Variant) Speedup(p Params) float64 {
+	return float64(p.Banks) * float64(p.TIdealRow()) / float64(v.TRow(p))
+}
+
+// FullNewton is the variant the §III-F closed form covers; its Speedup
+// agrees with Params.Speedup by construction.
+func FullNewton(cmdSlot int64) Variant {
+	return Variant{GangedCompute: true, ComplexCommands: true, Reuse: true,
+		GangedActivation: true, CmdSlot: cmdSlot}
+}

@@ -1,0 +1,104 @@
+// Package nn provides the neural-network substrate above raw
+// matrix-vector products: activation functions, batch normalization,
+// layer and model descriptions matching the paper's workloads, a model
+// executor that drives any matrix-vector runner (Newton's controller or
+// the Ideal Non-PIM baseline) through a multi-layer inference, and a
+// float32 reference implementation the simulations are checked against.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation identifies a neural activation function (distinct from DRAM
+// row activation, as the paper is careful to note).
+type Activation uint8
+
+const (
+	// None is the identity.
+	None Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Sigmoid is 1/(1+e^-x).
+	Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case None:
+		return "none"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("Activation(%d)", uint8(a))
+}
+
+// Func returns the scalar function.
+func (a Activation) Func() func(float32) float32 {
+	switch a {
+	case ReLU:
+		return func(x float32) float32 {
+			if x < 0 {
+				return 0
+			}
+			return x
+		}
+	case Sigmoid:
+		return func(x float32) float32 {
+			return float32(1 / (1 + math.Exp(-float64(x))))
+		}
+	case Tanh:
+		return func(x float32) float32 {
+			return float32(math.Tanh(float64(x)))
+		}
+	default:
+		return func(x float32) float32 { return x }
+	}
+}
+
+// Apply applies the activation in place.
+func (a Activation) Apply(v []float32) {
+	if a == None {
+		return
+	}
+	f := a.Func()
+	for i := range v {
+		v[i] = f(v[i])
+	}
+}
+
+// BatchNorm standardizes v in place to zero mean and unit variance. The
+// paper notes that unlike activations (applied element-wise as results
+// arrive), normalization needs the full vector's range, which is why its
+// first-tile latency is exposed (§III-C).
+func BatchNorm(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	var mean float64
+	for _, x := range v {
+		mean += float64(x)
+	}
+	mean /= float64(len(v))
+	var variance float64
+	for _, x := range v {
+		d := float64(x) - mean
+		variance += d * d
+	}
+	variance /= float64(len(v))
+	inv := 1.0
+	if variance > 0 {
+		inv = 1 / math.Sqrt(variance+1e-5)
+	}
+	for i, x := range v {
+		v[i] = float32((float64(x) - mean) * inv)
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+
+	"newton/internal/bf16"
+	"newton/internal/host"
+	"newton/internal/layout"
+)
+
+// MVMRunner is any memory system that can hold matrices and execute
+// matrix-vector products against them: the Newton controller and the
+// Ideal Non-PIM baseline both satisfy it.
+type MVMRunner interface {
+	Place(m *layout.Matrix) (*layout.Placement, error)
+	RunMVM(p *layout.Placement, v bf16.Vector) (*host.Result, error)
+	Advance(d int64)
+	Now() int64
+}
+
+// PlacedModel is a model whose weight matrices have been generated and
+// loaded into a runner's DRAM.
+type PlacedModel struct {
+	Spec       Model
+	Matrices   []*layout.Matrix
+	Placements []*layout.Placement
+}
+
+// PlaceModel generates deterministic weights for every layer (seeded per
+// layer so runners with the same seed hold identical weights) and loads
+// them into the runner.
+func PlaceModel(r MVMRunner, spec Model, seed int64) (*PlacedModel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pm := &PlacedModel{Spec: spec}
+	for i, l := range spec.Layers {
+		m := layout.RandomMatrix(l.Rows, l.Cols, seed+int64(i))
+		p, err := r.Place(m)
+		if err != nil {
+			return nil, fmt.Errorf("nn: placing %s layer %d (%s): %w", spec.Name, i, l.Name, err)
+		}
+		pm.Matrices = append(pm.Matrices, m)
+		pm.Placements = append(pm.Placements, p)
+	}
+	return pm, nil
+}
+
+// RunResult reports one end-to-end model inference.
+type RunResult struct {
+	// Output is the final layer's activation vector.
+	Output []float32
+	// Cycles is the end-to-end duration, including exposed
+	// normalization latency between layers.
+	Cycles int64
+	// LayerCycles is each layer's matrix-vector product duration.
+	LayerCycles []int64
+	// Refreshes counts refresh commands during the run.
+	Refreshes int64
+}
+
+// Run executes the model end to end on the runner: each layer's product
+// runs in the memory system, the host applies the activation as results
+// arrive (hidden under compute, so free), and batch normalization
+// exposes normExposure cycles per normalized layer (§III-C: all but the
+// first tile's normalization hides under the next layer's compute).
+func Run(r MVMRunner, pm *PlacedModel, input []float32, normExposure int64) (*RunResult, error) {
+	if len(input) != pm.Spec.InputWidth() {
+		return nil, fmt.Errorf("nn: input width %d, model %s expects %d",
+			len(input), pm.Spec.Name, pm.Spec.InputWidth())
+	}
+	start := r.Now()
+	res := &RunResult{}
+	cur := input
+	for i, l := range pm.Spec.Layers {
+		v := Reshape(cur, l.Cols)
+		lr, err := r.RunMVM(pm.Placements[i], v)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s layer %d (%s): %w", pm.Spec.Name, i, l.Name, err)
+		}
+		res.LayerCycles = append(res.LayerCycles, lr.Cycles)
+		res.Refreshes += lr.Stats.Refreshes
+		out := lr.Output
+		l.Act.Apply(out) // applied as elements arrive: no exposed latency
+		if l.BatchNorm {
+			BatchNorm(out)
+			r.Advance(normExposure)
+		}
+		cur = out
+	}
+	res.Output = cur
+	res.Cycles = r.Now() - start
+	return res, nil
+}
+
+// Reshape deterministically adapts an activation vector to the next
+// layer's input width, standing in for the model-specific plumbing
+// (LSTM gating, residual adds, concatenations) that does not touch DRAM.
+// Equal widths pass through; otherwise elements fold modulo the source
+// length with a 1/sqrt(fold) scale to keep magnitudes stable, and the
+// result is rounded to bfloat16 as it would be when written back.
+func Reshape(v []float32, cols int) bf16.Vector {
+	out := make(bf16.Vector, cols)
+	if cols == len(v) {
+		for i, x := range v {
+			out[i] = bf16.FromFloat32(x)
+		}
+		return out
+	}
+	for i := 0; i < cols; i++ {
+		out[i] = bf16.FromFloat32(v[i%len(v)] * 0.5)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package nn
+
+import "fmt"
+
+// Layer describes one fully-connected layer: a (Rows x Cols) weight
+// matrix applied to a Cols-long input, followed by an activation and
+// optional batch normalization.
+type Layer struct {
+	Name string
+	// Rows and Cols are the weight-matrix dimensions (output and input
+	// widths).
+	Rows, Cols int
+	Act        Activation
+	BatchNorm  bool
+}
+
+// Params returns the layer's parameter count.
+func (l Layer) Params() int64 { return int64(l.Rows) * int64(l.Cols) }
+
+// Model is a chain of fully-connected layers. Between layers the
+// executor reshapes the activation vector to the next layer's input
+// width (LSTM gating, attention plumbing and embedding interactions are
+// abstracted into this deterministic reshape: only the matrix-vector
+// products' dimensions govern memory-system behaviour, which is what the
+// reproduction measures).
+type Model struct {
+	Name   string
+	Layers []Layer
+	// ConvFraction is the fraction of the model's end-to-end GPU
+	// inference time spent in compute-bound convolutional layers, which
+	// run outside Newton in both systems (nonzero only for AlexNet; the
+	// paper cites ~85% conv / 15% FC).
+	ConvFraction float64
+}
+
+// Validate checks the model is runnable.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.Rows < 1 || l.Cols < 1 {
+			return fmt.Errorf("nn: model %q layer %d (%s) has invalid shape %dx%d",
+				m.Name, i, l.Name, l.Rows, l.Cols)
+		}
+	}
+	if m.ConvFraction < 0 || m.ConvFraction >= 1 {
+		return fmt.Errorf("nn: model %q has ConvFraction %v outside [0,1)", m.Name, m.ConvFraction)
+	}
+	return nil
+}
+
+// TotalParams sums the FC parameter counts.
+func (m Model) TotalParams() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.Params()
+	}
+	return n
+}
+
+// InputWidth returns the first layer's input width.
+func (m Model) InputWidth() int { return m.Layers[0].Cols }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestActivationValues(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		in   float32
+		want float64
+		tol  float64
+	}{
+		{ReLU, -2, 0, 0},
+		{ReLU, 3, 3, 0},
+		{Sigmoid, 0, 0.5, 1e-6},
+		{Sigmoid, 100, 1, 1e-6},
+		{Tanh, 0, 0, 0},
+		{Tanh, 100, 1, 1e-6},
+		{None, -7, -7, 0},
+	}
+	for _, c := range cases {
+		got := float64(c.act.Func()(c.in))
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%v(%v) = %v, want %v", c.act, c.in, got, c.want)
+		}
+	}
+}
+
+func TestActivationApply(t *testing.T) {
+	v := []float32{-1, 2, -3}
+	ReLU.Apply(v)
+	if v[0] != 0 || v[1] != 2 || v[2] != 0 {
+		t.Errorf("ReLU.Apply = %v", v)
+	}
+	// None must not touch the slice.
+	w := []float32{-1, 2}
+	None.Apply(w)
+	if w[0] != -1 || w[1] != 2 {
+		t.Error("None.Apply modified values")
+	}
+}
+
+func TestActivationMonotoneProperty(t *testing.T) {
+	for _, act := range []Activation{ReLU, Sigmoid, Tanh} {
+		f := act.Func()
+		prop := func(a, b float32) bool {
+			if a != a || b != b {
+				return true
+			}
+			if a > b {
+				a, b = b, a
+			}
+			return f(a) <= f(b)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%v not monotone: %v", act, err)
+		}
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	for _, a := range []Activation{None, ReLU, Sigmoid, Tanh, Activation(9)} {
+		if a.String() == "" {
+			t.Errorf("Activation(%d) has empty string", a)
+		}
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	v := []float32{1, 2, 3, 4, 5}
+	BatchNorm(v)
+	var mean, variance float64
+	for _, x := range v {
+		mean += float64(x)
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		variance += (float64(x) - mean) * (float64(x) - mean)
+	}
+	variance /= float64(len(v))
+	if math.Abs(mean) > 1e-5 {
+		t.Errorf("post-norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 1e-2 {
+		t.Errorf("post-norm variance = %v", variance)
+	}
+}
+
+func TestBatchNormDegenerate(t *testing.T) {
+	BatchNorm(nil) // must not panic
+	v := []float32{5, 5, 5}
+	BatchNorm(v) // zero variance
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Errorf("constant vector normalized to %v", x)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	good := Model{Name: "ok", Layers: []Layer{{Name: "l", Rows: 4, Cols: 4}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Model{
+		{Name: "empty"},
+		{Name: "shape", Layers: []Layer{{Rows: 0, Cols: 4}}},
+		{Name: "conv", Layers: []Layer{{Rows: 4, Cols: 4}}, ConvFraction: 1.0},
+		{Name: "conv2", Layers: []Layer{{Rows: 4, Cols: 4}}, ConvFraction: -0.1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %q accepted", m.Name)
+		}
+	}
+}
+
+func TestModelTotals(t *testing.T) {
+	m := Model{Name: "m", Layers: []Layer{
+		{Name: "a", Rows: 4, Cols: 8},
+		{Name: "b", Rows: 2, Cols: 4},
+	}}
+	if m.TotalParams() != 40 {
+		t.Errorf("TotalParams = %d", m.TotalParams())
+	}
+	if m.InputWidth() != 8 {
+		t.Errorf("InputWidth = %d", m.InputWidth())
+	}
+	if m.Layers[0].Params() != 32 {
+		t.Errorf("Layer.Params = %d", m.Layers[0].Params())
+	}
+}
+
+func TestReshape(t *testing.T) {
+	v := []float32{1, 2, 3, 4}
+	same := Reshape(v, 4)
+	for i := range v {
+		if same[i].Float32() != v[i] {
+			t.Error("equal-width reshape changed values")
+		}
+	}
+	wide := Reshape(v, 6)
+	if len(wide) != 6 || wide[4].Float32() != 0.5 || wide[5].Float32() != 1 {
+		t.Errorf("widening reshape wrong: %v", wide.Float32Slice())
+	}
+	narrow := Reshape(v, 2)
+	if len(narrow) != 2 || narrow[0].Float32() != 0.5 {
+		t.Errorf("narrowing reshape wrong: %v", narrow.Float32Slice())
+	}
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"newton/internal/dram"
+	"newton/internal/host"
+)
+
+// EventCoefficients price individual DRAM/AiM events in relative units
+// (conventional peak-bandwidth streaming = average power 1.0). They are
+// the bottom-up alternative to the phase-based Coefficients: instead of
+// attributing power to phases of a run, each command carries its own
+// energy. The two models are calibrated to the same two anchors - a
+// conventional read stream averages 1.0, and the all-bank COMP stream
+// draws about 4x that (the paper's published ratio) - and serve as
+// cross-checks on each other (their Newton estimates agree to within a
+// few tens of percent, which bounds the modeling uncertainty the
+// paper's proprietary parameters leave us with).
+type EventCoefficients struct {
+	// Activate is the energy of opening one bank's row. On wide-I/O
+	// HBM-class parts the column I/O energy dominates and activation is
+	// a small share of streaming power.
+	Activate float64
+	// ReadCol / WriteCol price one external column access (RD/WR), and
+	// GWrite / ReadRes the global-buffer load and result-latch read.
+	ReadCol, WriteCol float64
+	GWrite, ReadRes   float64
+	// CompCol prices one bank's column access + 16 multiplies + adder
+	// tree within a ganged COMP.
+	CompCol float64
+	// Refresh is the energy of one all-bank refresh.
+	Refresh float64
+	// Background is static power per cycle per active channel.
+	Background float64
+}
+
+// DefaultEvents returns coefficients calibrated against the two anchors
+// for the HBM2E-like preset: one streamed row costs
+// Activate + 32*ReadCol + 128*Background = 128 power-cycles (average
+// power 1.0), and a COMP stream's power is 4.0.
+func DefaultEvents() EventCoefficients {
+	return EventCoefficients{
+		Activate:   8,
+		ReadCol:    3.35,
+		WriteCol:   3.6,
+		GWrite:     3.35,
+		ReadRes:    3.35,
+		CompCol:    0.975,
+		Refresh:    250,
+		Background: 0.1,
+	}
+}
+
+// BottomUp evaluates a run by pricing its command counts.
+func BottomUp(c EventCoefficients, cfg dram.Config, res *host.Result) Report {
+	if res.Cycles <= 0 {
+		return Report{}
+	}
+	active := 0
+	for _, pc := range res.PerChannelCycles {
+		if pc > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return Report{}
+	}
+	s := res.Stats
+	colBytes := int64(cfg.Geometry.ColBytes())
+	compCols := s.InternalBytesRead / colBytes
+	externalReads := s.Count(dram.KindRD)
+	energy := c.Activate*float64(s.Activations) +
+		c.ReadCol*float64(externalReads) +
+		c.WriteCol*float64(s.Count(dram.KindWR)) +
+		c.GWrite*float64(s.Count(dram.KindGWRITE)) +
+		c.ReadRes*float64(s.Count(dram.KindREADRES)) +
+		c.CompCol*float64(compCols) +
+		c.Refresh*float64(s.Refreshes) +
+		c.Background*float64(res.Cycles)*float64(active)
+
+	// Normalize to one channel: counts are summed over channels, and
+	// power is per parallel channel.
+	energy /= float64(active)
+	return Report{
+		AvgPower:        energy / float64(res.Cycles),
+		Energy:          energy,
+		ComputeFraction: float64(compCols*cfg.Timing.TCCD) / float64(res.Cycles) / float64(active),
+	}
+}

@@ -1,0 +1,139 @@
+// Package power models Newton's average power and energy relative to
+// conventional DRAM, reproducing the paper's Fig. 13. The paper's
+// absolute power parameters are proprietary; the one published anchor is
+// that executing the all-bank COMP command draws about 4x the power of
+// ideal non-PIM DRAM reading at peak bandwidth (§IV, Average Power
+// Modeling). All quantities here are therefore in relative units where
+// conventional DRAM streaming at peak bandwidth draws power 1.0.
+package power
+
+import (
+	"newton/internal/dram"
+	"newton/internal/host"
+)
+
+// Coefficients are the relative-power constants of the model.
+type Coefficients struct {
+	// Compute is the power drawn while a COMP command's all-bank
+	// column access + multiply + adder-tree reduction is in flight,
+	// relative to peak-bandwidth conventional reads. The paper's anchor:
+	// about 4x.
+	Compute float64
+	// Overhead is the power drawn during the non-compute parts of a
+	// Newton run (ganged activations, precharges, result reads, global-
+	// buffer loads, and the longer bank-open residency the paper notes
+	// Newton pays). Comparable to, slightly above, a conventional DRAM's
+	// activate-phase power.
+	Overhead float64
+	// Refresh is the power drawn during refresh cycles.
+	Refresh float64
+	// Streaming is conventional DRAM's peak-read power: the
+	// normalization unit.
+	Streaming float64
+}
+
+// Default returns the calibrated coefficients.
+func Default() Coefficients {
+	return Coefficients{Compute: 4.0, Overhead: 1.2, Refresh: 1.0, Streaming: 1.0}
+}
+
+// Breakdown splits a run's energy into the components the paper's
+// power discussion identifies (§IV): the in-DRAM compute itself, the
+// non-compute phases (activations, precharges, result reads and buffer
+// loads, plus the longer bank-open residency), and refresh.
+type Breakdown struct {
+	Compute  float64
+	Overhead float64
+	Refresh  float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Compute + b.Overhead + b.Refresh }
+
+// Report summarizes power and energy for one run.
+type Report struct {
+	// AvgPower is the run's average power in units of conventional
+	// DRAM's peak-read power. For a Newton run this is the Fig. 13
+	// quantity ("Average Power normalized to conventional DRAM").
+	AvgPower float64
+	// Energy is AvgPower integrated over the run (power-cycles).
+	Energy float64
+	// ComputeFraction is the share of wall-clock time the channel
+	// spends with COMP column accesses in flight.
+	ComputeFraction float64
+	// ByComponent attributes the energy.
+	ByComponent Breakdown
+}
+
+// Newton evaluates a Newton run. The per-channel compute-busy time is
+// the per-bank column accesses paced at tCCD: every COMP (or expanded
+// compute command) occupies the channel's internal datapath for one tCCD.
+func Newton(c Coefficients, cfg dram.Config, res *host.Result) Report {
+	if res.Cycles <= 0 {
+		return Report{}
+	}
+	s := res.Stats
+	// Compute commands per channel: counts are summed over channels, and
+	// channels run in parallel, so divide by the channels that did work.
+	active := 0
+	for _, pc := range res.PerChannelCycles {
+		if pc > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return Report{}
+	}
+	compCmds := s.Count(dram.KindCOMP) + s.Count(dram.KindCOMPBank) + s.Count(dram.KindCOLRD)
+	compCycles := compCmds * cfg.Timing.TCCD / int64(active)
+	refreshCycles := s.Refreshes * cfg.Timing.TRFC / int64(active)
+	total := res.Cycles
+	if compCycles > total {
+		compCycles = total
+	}
+	other := total - compCycles - refreshCycles
+	if other < 0 {
+		other = 0
+	}
+	bd := Breakdown{
+		Compute:  c.Compute * float64(compCycles),
+		Overhead: c.Overhead * float64(other),
+		Refresh:  c.Refresh * float64(refreshCycles),
+	}
+	return Report{
+		AvgPower:        bd.Total() / float64(total),
+		Energy:          bd.Total(),
+		ComputeFraction: float64(compCycles) / float64(total),
+		ByComponent:     bd,
+	}
+}
+
+// ConventionalDRAM evaluates an Ideal Non-PIM run, whose DRAM streams at
+// peak bandwidth essentially the whole time: this is the Fig. 13
+// denominator. Its average power is Streaming by construction (modulo
+// refresh), and its energy is what Newton's avoided matrix transfers are
+// compared against. Note the paper additionally ignores the non-PIM
+// host's compute power, an advantage it concedes to the baseline; so do
+// we.
+func ConventionalDRAM(c Coefficients, cfg dram.Config, res *host.Result) Report {
+	if res.Cycles <= 0 {
+		return Report{}
+	}
+	active := 0
+	for _, pc := range res.PerChannelCycles {
+		if pc > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return Report{}
+	}
+	refreshCycles := res.Stats.Refreshes * cfg.Timing.TRFC / int64(active)
+	total := res.Cycles
+	stream := total - refreshCycles
+	if stream < 0 {
+		stream = 0
+	}
+	energy := c.Streaming*float64(stream) + c.Refresh*float64(refreshCycles)
+	return Report{AvgPower: energy / float64(total), Energy: energy}
+}

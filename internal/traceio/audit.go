@@ -1,0 +1,258 @@
+package traceio
+
+import (
+	"fmt"
+
+	"newton/internal/aim"
+	"newton/internal/dram"
+)
+
+// Audit re-verifies every DRAM timing and state rule over a recorded
+// trace, independently of the live checker in package dram: it keeps its
+// own bank state machines and full activation history and tests each
+// constraint from first principles. Running controller traces through
+// Audit is differential validation - a bug would have to appear
+// identically in two separate implementations to slip through.
+//
+// Checked rules:
+//
+//	command-bus slotting  one command per CmdSlot per bus (row/column)
+//	tRCD                  no column access within tRCD of the row's ACT
+//	tRAS                  no precharge within tRAS of the bank's ACT
+//	tRP / tRC             no ACT within tRP of PRE or tRC of prior ACT
+//	tCCD                  column commands spaced by tCCD channel-wide
+//	tWR                   no precharge within tWR of a write
+//	tRRD                  activation commands spaced by tRRD
+//	tFAW                  at most 4 bank-activations in any tFAW window
+//	tRFC                  no activation within tRFC of a refresh
+//	state                 reads/writes only on open rows, ACT only on
+//	                      idle banks, REF only with all banks idle
+func Audit(cfg dram.Config, trace []TimedCommand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	t := cfg.Timing
+	g := cfg.Geometry
+
+	type bankState struct {
+		open      bool
+		row       int
+		lastACT   int64
+		lastPRE   int64
+		lastCol   int64
+		lastWrite int64
+	}
+	banks := make([]bankState, g.Banks)
+	for i := range banks {
+		banks[i] = bankState{lastACT: -1 << 40, lastPRE: -1 << 40, lastCol: -1 << 40, lastWrite: -1 << 40}
+	}
+	lastRowBus := int64(-1 << 40)
+	lastColBus := int64(-1 << 40) // any column-bus command (CmdSlot pacing)
+	lastColAcc := int64(-1 << 40) // actual column data accesses (tCCD pacing)
+	lastActCmd := int64(-1 << 40)
+	lastREF := int64(-1 << 40)
+	var actHistory []int64 // every bank-activation timestamp, in order
+
+	fail := func(i int, tc TimedCommand, rule, detail string) error {
+		return fmt.Errorf("traceio: audit: entry %d (%v at cycle %d) violates %s: %s",
+			i, tc.Cmd, tc.Cycle, rule, detail)
+	}
+
+	bankOf := func(i int, tc TimedCommand) (int, error) {
+		b := tc.Cmd.Bank
+		if b < 0 || b >= g.Banks {
+			return 0, fail(i, tc, "state", fmt.Sprintf("bank %d out of range", b))
+		}
+		return b, nil
+	}
+
+	activate := func(i int, tc TimedCommand, b, row int) error {
+		now := tc.Cycle
+		st := &banks[b]
+		if st.open {
+			return fail(i, tc, "state", fmt.Sprintf("bank %d already open at row %d", b, st.row))
+		}
+		if now < st.lastACT+t.TRC() {
+			return fail(i, tc, "tRC", fmt.Sprintf("prior ACT at %d", st.lastACT))
+		}
+		if now < st.lastPRE+t.TRP {
+			return fail(i, tc, "tRP", fmt.Sprintf("prior PRE at %d", st.lastPRE))
+		}
+		if now < lastREF+t.TRFC {
+			return fail(i, tc, "tRFC", fmt.Sprintf("refresh at %d", lastREF))
+		}
+		// tFAW: at most four activations in any rolling window, i.e. this
+		// activation and the one four back must span at least tFAW.
+		if n := len(actHistory); n >= 4 {
+			if prev := actHistory[n-4]; now < prev+t.TFAW {
+				return fail(i, tc, "tFAW",
+					fmt.Sprintf("fifth activation within window starting %d", prev))
+			}
+		}
+		actHistory = append(actHistory, now)
+		st.open, st.row, st.lastACT = true, row, now
+		return nil
+	}
+
+	columnAccess := func(i int, tc TimedCommand, b int, write bool) error {
+		now := tc.Cycle
+		st := &banks[b]
+		if !st.open {
+			return fail(i, tc, "state", fmt.Sprintf("bank %d has no open row", b))
+		}
+		if now < st.lastACT+t.TRCD {
+			return fail(i, tc, "tRCD", fmt.Sprintf("ACT at %d", st.lastACT))
+		}
+		if now < lastColAcc+t.TCCD {
+			return fail(i, tc, "tCCD", fmt.Sprintf("prior column access at %d", lastColAcc))
+		}
+		st.lastCol = now
+		if write {
+			st.lastWrite = now
+		}
+		return nil
+	}
+
+	precharge := func(i int, tc TimedCommand, b int) error {
+		now := tc.Cycle
+		st := &banks[b]
+		if !st.open {
+			return nil // precharging an idle bank is a NOP
+		}
+		if now < st.lastACT+t.TRAS {
+			return fail(i, tc, "tRAS", fmt.Sprintf("ACT at %d", st.lastACT))
+		}
+		if now < st.lastWrite+t.TWR {
+			return fail(i, tc, "tWR", fmt.Sprintf("write at %d", st.lastWrite))
+		}
+		if now < st.lastCol+t.TCCD {
+			return fail(i, tc, "read-to-PRE", fmt.Sprintf("column access at %d", st.lastCol))
+		}
+		st.open = false
+		st.lastPRE = now
+		return nil
+	}
+
+	for i, tc := range trace {
+		now := tc.Cycle
+		kind := tc.Cmd.Kind
+		// Resolve ganged COLRD to its all-bank column form.
+		if kind == dram.KindCOLRD && tc.Cmd.Bank == aim.AllBanks {
+			kind = dram.KindCOMP
+		}
+		// Bus slotting.
+		switch kind {
+		case dram.KindACT, dram.KindGACT, dram.KindPRE, dram.KindPREA, dram.KindREF:
+			if now < lastRowBus+t.CmdSlot {
+				return fail(i, tc, "row-bus slot", fmt.Sprintf("prior row command at %d", lastRowBus))
+			}
+			lastRowBus = now
+		default:
+			if now < lastColBus+t.CmdSlot {
+				return fail(i, tc, "col-bus slot", fmt.Sprintf("prior column command at %d", lastColBus))
+			}
+			lastColBus = now
+		}
+		switch kind {
+		case dram.KindACT:
+			if now < lastActCmd+t.TRRD {
+				return fail(i, tc, "tRRD", fmt.Sprintf("prior activation command at %d", lastActCmd))
+			}
+			b, err := bankOf(i, tc)
+			if err != nil {
+				return err
+			}
+			if err := activate(i, tc, b, tc.Cmd.Row); err != nil {
+				return err
+			}
+			lastActCmd = now
+		case dram.KindGACT:
+			if now < lastActCmd+t.TRRD {
+				return fail(i, tc, "tRRD", fmt.Sprintf("prior activation command at %d", lastActCmd))
+			}
+			cl := tc.Cmd.Cluster
+			if cl < 0 || cl >= g.Clusters() {
+				return fail(i, tc, "state", fmt.Sprintf("cluster %d out of range", cl))
+			}
+			for b := cl * g.BanksPerCluster; b < (cl+1)*g.BanksPerCluster; b++ {
+				if err := activate(i, tc, b, tc.Cmd.Row); err != nil {
+					return err
+				}
+			}
+			lastActCmd = now
+		case dram.KindPRE:
+			b, err := bankOf(i, tc)
+			if err != nil {
+				return err
+			}
+			if err := precharge(i, tc, b); err != nil {
+				return err
+			}
+		case dram.KindPREA:
+			for b := range banks {
+				if err := precharge(i, tc, b); err != nil {
+					return err
+				}
+			}
+		case dram.KindREF:
+			for b := range banks {
+				if banks[b].open {
+					return fail(i, tc, "state", fmt.Sprintf("refresh with bank %d open", b))
+				}
+			}
+			if now < lastREF+t.TRFC {
+				return fail(i, tc, "tRFC", fmt.Sprintf("prior refresh at %d", lastREF))
+			}
+			lastREF = now
+		case dram.KindRD:
+			b, err := bankOf(i, tc)
+			if err != nil {
+				return err
+			}
+			if err := columnAccess(i, tc, b, false); err != nil {
+				return err
+			}
+			lastColAcc = now
+		case dram.KindWR:
+			b, err := bankOf(i, tc)
+			if err != nil {
+				return err
+			}
+			if err := columnAccess(i, tc, b, true); err != nil {
+				return err
+			}
+			lastColAcc = now
+		case dram.KindCOMP:
+			for b := range banks {
+				// Ganged access: every bank pays the column timing, with
+				// the shared-bus check applied once below.
+				st := &banks[b]
+				if !st.open {
+					return fail(i, tc, "state", fmt.Sprintf("ganged column access with bank %d closed", b))
+				}
+				if now < st.lastACT+t.TRCD {
+					return fail(i, tc, "tRCD", fmt.Sprintf("bank %d ACT at %d", b, st.lastACT))
+				}
+				st.lastCol = now
+			}
+			if now < lastColAcc+t.TCCD {
+				return fail(i, tc, "tCCD", fmt.Sprintf("prior column access at %d", lastColAcc))
+			}
+			lastColAcc = now
+		case dram.KindCOMPBank, dram.KindCOLRD:
+			b, err := bankOf(i, tc)
+			if err != nil {
+				return err
+			}
+			if err := columnAccess(i, tc, b, false); err != nil {
+				return err
+			}
+			lastColAcc = now
+		case dram.KindGWRITE, dram.KindBCAST, dram.KindMAC, dram.KindREADRES:
+			// Datapath commands: column-bus slot only (handled above).
+		default:
+			return fail(i, tc, "state", "unknown command kind")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package traceview renders command traces as ASCII timelines: one lane
+// per command bus plus one lane per bank, so the structures the paper's
+// Fig. 7 describes - ganged activations pacing out under tFAW, the COMP
+// stream saturating the column bus, precharges overlapping result reads
+// - are visible at a glance.
+package traceview
+
+import (
+	"fmt"
+	"strings"
+
+	"newton/internal/aim"
+	"newton/internal/dram"
+	"newton/internal/traceio"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// From and To bound the rendered cycle window; To <= From means
+	// "the whole trace".
+	From, To int64
+	// Width is the number of timeline columns (default 100).
+	Width int
+}
+
+// laneSymbols maps command kinds to their one-character lane marks.
+var laneSymbols = map[dram.Kind]byte{
+	dram.KindACT:      'A',
+	dram.KindGACT:     'G',
+	dram.KindPRE:      'P',
+	dram.KindPREA:     'P',
+	dram.KindREF:      'F',
+	dram.KindRD:       'r',
+	dram.KindWR:       'w',
+	dram.KindGWRITE:   'W',
+	dram.KindCOMP:     'C',
+	dram.KindCOMPBank: 'c',
+	dram.KindBCAST:    'B',
+	dram.KindCOLRD:    'L',
+	dram.KindMAC:      'M',
+	dram.KindREADRES:  'R',
+}
+
+// Legend describes the lane symbols.
+func Legend() string {
+	return "row bus: A=ACT G=G_ACT P=PRE/PREA F=REF | " +
+		"col bus: C=COMP c=COMP_BK W=GWRITE B=BCAST L=COLRD M=MAC R=READRES r=RD w=WR | " +
+		"banks: #=row open .=idle"
+}
+
+// Render draws the trace window. The trace must be cycle-sorted.
+func Render(cfg dram.Config, trace []traceio.TimedCommand, opts Options) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	if len(trace) == 0 {
+		return "(empty trace)\n", nil
+	}
+	if opts.Width <= 0 {
+		opts.Width = 100
+	}
+	from, to := opts.From, opts.To
+	if to <= from {
+		from = trace[0].Cycle
+		to = trace[len(trace)-1].Cycle + 1
+	}
+	span := to - from
+	if span < 1 {
+		span = 1
+	}
+	col := func(cycle int64) int {
+		c := int((cycle - from) * int64(opts.Width) / span)
+		if c < 0 {
+			return -1
+		}
+		if c >= opts.Width {
+			return -1
+		}
+		return c
+	}
+
+	banks := cfg.Geometry.Banks
+	rowBus := blankLane(opts.Width)
+	colBus := blankLane(opts.Width)
+	bankLanes := make([][]byte, banks)
+	for i := range bankLanes {
+		bankLanes[i] = blankLane(opts.Width)
+	}
+	open := make([]bool, banks)
+	lastChange := make([]int64, banks) // cycle of the last open/close
+
+	// fill paints a bank's state from its last change up to `until`.
+	fill := func(b int, until int64) {
+		lo, hi := lastChange[b], until
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		for cy := lo; cy < hi; cy += span/int64(opts.Width) + 1 {
+			if c := col(cy); c >= 0 && open[b] {
+				bankLanes[b][c] = '#'
+			}
+		}
+		// Ensure the end column is painted too.
+		if open[b] && hi > lo {
+			if c := col(hi - 1); c >= 0 {
+				bankLanes[b][c] = '#'
+			}
+		}
+	}
+	setOpen := func(b int, now int64, state bool) {
+		fill(b, now)
+		open[b] = state
+		lastChange[b] = now
+	}
+
+	for _, tc := range trace {
+		kind := tc.Cmd.Kind
+		if kind == dram.KindCOLRD && tc.Cmd.Bank == aim.AllBanks {
+			kind = dram.KindCOMP
+		}
+		sym := laneSymbols[kind]
+		switch kind {
+		case dram.KindACT, dram.KindGACT, dram.KindPRE, dram.KindPREA, dram.KindREF:
+			if c := col(tc.Cycle); c >= 0 {
+				rowBus[c] = sym
+			}
+		default:
+			if c := col(tc.Cycle); c >= 0 {
+				colBus[c] = sym
+			}
+		}
+		switch kind {
+		case dram.KindACT:
+			if tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
+				setOpen(tc.Cmd.Bank, tc.Cycle, true)
+			}
+		case dram.KindGACT:
+			lo := tc.Cmd.Cluster * cfg.Geometry.BanksPerCluster
+			for b := lo; b < lo+cfg.Geometry.BanksPerCluster && b < banks; b++ {
+				setOpen(b, tc.Cycle, true)
+			}
+		case dram.KindPRE:
+			if tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
+				setOpen(tc.Cmd.Bank, tc.Cycle, false)
+			}
+		case dram.KindPREA, dram.KindREF:
+			for b := 0; b < banks; b++ {
+				setOpen(b, tc.Cycle, false)
+			}
+		}
+	}
+	for b := 0; b < banks; b++ {
+		fill(b, to)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles %d..%d, %d per column\n", from, to, (span+int64(opts.Width)-1)/int64(opts.Width))
+	fmt.Fprintf(&sb, "%-8s %s\n", "row bus", rowBus)
+	fmt.Fprintf(&sb, "%-8s %s\n", "col bus", colBus)
+	for b, lane := range bankLanes {
+		fmt.Fprintf(&sb, "bank %-3d %s\n", b, lane)
+	}
+	sb.WriteString(Legend())
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}
+
+func blankLane(w int) []byte {
+	lane := make([]byte, w)
+	for i := range lane {
+		lane[i] = '.'
+	}
+	return lane
+}

@@ -1,0 +1,97 @@
+package traceview
+
+import (
+	"strings"
+	"testing"
+
+	"newton/internal/dram"
+	"newton/internal/traceio"
+)
+
+func viewConfig() dram.Config {
+	g := dram.HBM2EGeometry(1)
+	g.Rows = 64
+	return dram.Config{Geometry: g, Timing: dram.AiMTiming()}
+}
+
+func TestRenderStructure(t *testing.T) {
+	cfg := viewConfig()
+	trace := []traceio.TimedCommand{
+		{Cycle: 0, Cmd: dram.Command{Kind: dram.KindGACT, Cluster: 0, Row: 0}},
+		{Cycle: 18, Cmd: dram.Command{Kind: dram.KindGACT, Cluster: 1, Row: 0}},
+		{Cycle: 40, Cmd: dram.Command{Kind: dram.KindGWRITE, Col: 0}},
+		{Cycle: 60, Cmd: dram.Command{Kind: dram.KindCOMP, Col: 0}},
+		{Cycle: 80, Cmd: dram.Command{Kind: dram.KindREADRES}},
+		{Cycle: 90, Cmd: dram.Command{Kind: dram.KindPREA}},
+	}
+	out, err := Render(cfg, trace, Options{Width: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + row bus + col bus + 16 banks + legend.
+	if len(lines) != 3+cfg.Geometry.Banks+1 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	rowBus, colBus := lines[1], lines[2]
+	for _, sym := range []string{"G", "P"} {
+		if !strings.Contains(rowBus, sym) {
+			t.Errorf("row bus lane missing %q: %s", sym, rowBus)
+		}
+	}
+	for _, sym := range []string{"W", "C", "R"} {
+		if !strings.Contains(colBus, sym) {
+			t.Errorf("col bus lane missing %q: %s", sym, colBus)
+		}
+	}
+	// Banks 0-7 were opened by the two G_ACTs and show occupancy; banks
+	// 8-15 were never opened and must stay idle.
+	if !strings.Contains(lines[3], "#") {
+		t.Errorf("bank 0 shows no open time: %s", lines[3])
+	}
+	if strings.Contains(lines[3+15], "#") {
+		t.Errorf("bank 15 should be idle: %s", lines[3+15])
+	}
+	if !strings.Contains(out, "banks: #=row open") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	cfg := viewConfig()
+	trace := []traceio.TimedCommand{
+		{Cycle: 0, Cmd: dram.Command{Kind: dram.KindACT, Bank: 0, Row: 0}},
+		{Cycle: 500, Cmd: dram.Command{Kind: dram.KindACT, Bank: 1, Row: 0}},
+	}
+	// A window covering only the second command must not show the first.
+	out, err := Render(cfg, trace, Options{From: 400, To: 600, Width: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBus := strings.Split(out, "\n")[1]
+	if strings.Count(rowBus, "A") != 1 {
+		t.Errorf("window should show exactly one ACT: %s", rowBus)
+	}
+}
+
+func TestRenderEmptyAndDefaults(t *testing.T) {
+	cfg := viewConfig()
+	out, err := Render(cfg, nil, Options{})
+	if err != nil || !strings.Contains(out, "empty") {
+		t.Errorf("empty trace render: %q, %v", out, err)
+	}
+	// Zero width falls back to the default.
+	trace := []traceio.TimedCommand{{Cycle: 0, Cmd: dram.Command{Kind: dram.KindREF}}}
+	out, err = Render(cfg, trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "F") {
+		t.Error("REF not rendered")
+	}
+	bad := cfg
+	bad.Geometry.Banks = 0
+	if _, err := Render(bad, trace, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import "testing"
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	want := map[string][2]int{
+		"GNMT-s1":    {4096, 1024},
+		"GNMT-s2":    {4096, 2048},
+		"BERT-s1":    {1024, 1024},
+		"BERT-s2":    {1024, 4096},
+		"BERT-s3":    {4096, 1024},
+		"AlexNet-L6": {21632, 2048},
+		"AlexNet-L7": {2048, 2048},
+		"DLRM-s1":    {512, 256},
+	}
+	got := TableII()
+	if len(got) != len(want) {
+		t.Fatalf("Table II has %d rows, want %d", len(got), len(want))
+	}
+	for _, b := range got {
+		dims, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", b.Name)
+			continue
+		}
+		if b.Rows != dims[0] || b.Cols != dims[1] {
+			t.Errorf("%s = %dx%d, want %dx%d", b.Name, b.Rows, b.Cols, dims[0], dims[1])
+		}
+		if b.Params() != int64(dims[0])*int64(dims[1]) {
+			t.Errorf("%s params wrong", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if b, ok := ByName("DLRM-s1"); !ok || b.Rows != 512 {
+		t.Error("ByName failed for DLRM-s1")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName invented a benchmark")
+	}
+}
+
+func TestEndToEndModelsValidate(t *testing.T) {
+	for _, m := range EndToEnd() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestGNMTShape(t *testing.T) {
+	m := GNMT()
+	if len(m.Layers) != 8 {
+		t.Fatalf("GNMT has %d layers, want 8", len(m.Layers))
+	}
+	if m.Layers[0].Rows != 4096 || m.Layers[0].Cols != 1024 {
+		t.Error("GNMT layer 1 is not the GNMT-s1 shape")
+	}
+	for i := 1; i < 8; i++ {
+		if m.Layers[i].Rows != 4096 || m.Layers[i].Cols != 2048 {
+			t.Errorf("GNMT layer %d is not the GNMT-s2 shape", i+1)
+		}
+	}
+}
+
+func TestBERTShape(t *testing.T) {
+	m := BERT()
+	if len(m.Layers) != 24*6 {
+		t.Fatalf("BERT has %d FC layers, want 144", len(m.Layers))
+	}
+	// Parameter count should land near BERT-large's ~300M.
+	p := m.TotalParams()
+	if p < 250e6 || p > 350e6 {
+		t.Errorf("BERT params = %d, want near 300M", p)
+	}
+	// The FFN pair must chain: up-projection output feeds down-projection.
+	up, down := m.Layers[4], m.Layers[5]
+	if up.Rows != down.Cols {
+		t.Errorf("FFN chain broken: up %dx%d, down %dx%d", up.Rows, up.Cols, down.Rows, down.Cols)
+	}
+}
+
+func TestAlexNetShape(t *testing.T) {
+	m := AlexNet()
+	if m.ConvFraction != 0.85 {
+		t.Errorf("ConvFraction = %v, want 0.85 (the paper's conv share)", m.ConvFraction)
+	}
+	if m.Layers[0].Rows != 21632 || m.Layers[1].Rows != 2048 {
+		t.Error("AlexNet FC shapes wrong")
+	}
+}
+
+func TestDLRMShape(t *testing.T) {
+	m := DLRM()
+	if m.ConvFraction != 0 {
+		t.Error("DLRM should have no conv fraction")
+	}
+	if len(m.Layers) < 12 {
+		t.Errorf("DLRM has only %d layers; needs enough to cross refresh windows", len(m.Layers))
+	}
+	for i, l := range m.Layers {
+		if l.Rows*l.Cols != 512*256 {
+			t.Errorf("layer %d is not DLRM-s1 scale: %dx%d", i, l.Rows, l.Cols)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package newton
+
+import (
+	"newton/internal/nn"
+	"newton/internal/workloads"
+)
+
+// The model-description types are the nn package's, re-exported so
+// library users can build and run multi-layer inferences without
+// reaching into internal packages.
+type (
+	// Layer is one fully-connected layer: a Rows x Cols weight matrix,
+	// an activation, and optional batch normalization.
+	Layer = nn.Layer
+	// Model is a chain of layers plus the compute-bound fraction that
+	// runs outside Newton (AlexNet's convolutions).
+	Model = nn.Model
+	// Activation selects a neural activation function.
+	Activation = nn.Activation
+)
+
+// Activation function values.
+const (
+	ActNone    = nn.None
+	ActReLU    = nn.ReLU
+	ActSigmoid = nn.Sigmoid
+	ActTanh    = nn.Tanh
+)
+
+// Paper workloads: the Table II single layers and the end-to-end models
+// of Fig. 8.
+var (
+	// TableII returns the paper's eight benchmark layers (name, rows,
+	// cols).
+	TableII = workloads.TableII
+	// GNMTModel, BERTModel, AlexNetModel and DLRMModel return the
+	// end-to-end model graphs.
+	GNMTModel    = workloads.GNMT
+	BERTModel    = workloads.BERT
+	AlexNetModel = workloads.AlexNet
+	DLRMModel    = workloads.DLRM
+)
+
+// Benchmark is one Table II row.
+type Benchmark = workloads.Bench
+
+// PlacedModel is a model whose layer weights are resident in a system's
+// (or baseline's) DRAM.
+type PlacedModel struct {
+	pm *nn.PlacedModel
+}
+
+// Spec returns the model description.
+func (p *PlacedModel) Spec() Model { return p.pm.Spec }
+
+// ModelResult reports one end-to-end inference.
+type ModelResult struct {
+	// Output is the final activation vector.
+	Output []float32
+	// Cycles is the end-to-end duration in cycles (nanoseconds),
+	// including exposed batch-normalization latency.
+	Cycles int64
+	// LayerCycles is each layer's product duration.
+	LayerCycles []int64
+	// Refreshes counts refresh interruptions during the run, the effect
+	// behind DLRM's end-to-end speedup trailing its single-layer one.
+	Refreshes int64
+}
+
+// LoadModel generates deterministic weights for the model's layers
+// (seeded, so a System and an IdealBaseline given the same seed hold
+// identical weights) and loads them into the system's DRAM.
+func (s *System) LoadModel(m Model, seed int64) (*PlacedModel, error) {
+	pm, err := nn.PlaceModel(s.ctrl, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacedModel{pm: pm}, nil
+}
+
+// RunModel executes an end-to-end inference on the system.
+func (s *System) RunModel(pm *PlacedModel, input []float32) (*ModelResult, error) {
+	exposure := s.cfg.hostOptions().NormExposure(s.dcfg.Geometry.RowBytes() / 2)
+	r, err := nn.Run(s.ctrl, pm.pm, input, exposure)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelResult{Output: r.Output, Cycles: r.Cycles, LayerCycles: r.LayerCycles, Refreshes: r.Refreshes}, nil
+}
+
+// LoadModel mirrors System.LoadModel for the ideal baseline.
+func (b *IdealBaseline) LoadModel(m Model, seed int64) (*PlacedModel, error) {
+	pm, err := nn.PlaceModel(b.h, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacedModel{pm: pm}, nil
+}
+
+// RunModel executes an end-to-end inference on the ideal baseline.
+func (b *IdealBaseline) RunModel(pm *PlacedModel, input []float32) (*ModelResult, error) {
+	r, err := nn.Run(b.h, pm.pm, input, b.cfg.NormExposureCycles)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelResult{Output: r.Output, Cycles: r.Cycles, LayerCycles: r.LayerCycles, Refreshes: r.Refreshes}, nil
+}
+
+// ReferenceModelOutput runs the placed model's float32 software oracle
+// on the same weights, for validating simulated inferences.
+func (p *PlacedModel) ReferenceModelOutput(input []float32) ([]float32, error) {
+	return nn.RunReference(p.pm, input)
+}
