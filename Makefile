@@ -1,0 +1,19 @@
+# Convenience targets; `make check` is the full verification gate
+# (build + vet + race-enabled tests) CI and pre-commit should run.
+
+.PHONY: check build test bench figures
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+figures:
+	go run ./cmd/newton-bench -fig all

@@ -316,3 +316,22 @@ func BenchmarkChannelScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServing runs the serving study: the Fig. 12 batching
+// crossover restated as open-loop tail latency, Newton shards vs the
+// dynamic-batching GPU through the same queue/batcher simulation.
+func BenchmarkServing(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, sum, err := cfg.Serving()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.CrossoverQPS, "crossover_qps")
+		b.ReportMetric(points[0].NewtonP99, "newton_p99_light_ns")
+		b.ReportMetric(points[0].GPUP99, "gpu_p99_light_ns")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderServing(points, sum))
+		}
+	}
+}

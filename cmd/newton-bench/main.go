@@ -20,7 +20,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, or all")
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
@@ -146,6 +146,18 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.RenderMultiTenant(r))
+		return nil
+	})
+	run("serving", func() error {
+		points, sum, err := cfg.Serving()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVServing(points))
+			return nil
+		}
+		fmt.Println(experiments.RenderServing(points, sum))
 		return nil
 	})
 	run("families", func() error {

@@ -1,111 +1,88 @@
 // Serving: the edge-inference scenario that motivates Newton (§I): a
 // stream of single queries against a recommendation model, where
-// batching to feed a GPU trades latency for throughput. A simple
-// discrete-event queue compares tail latency on a Newton device (serves
-// queries one at a time at its measured per-query time) against a GPU
-// with dynamic batching (drains whatever is queued as one kernel).
+// batching to feed a GPU trades latency for throughput. The serving
+// subsystem (newton.Serve*) replays the same seeded Poisson stream
+// against a Newton fleet (serves queries one at a time at its measured
+// per-query time) and a GPU fleet with dynamic batching (drains
+// whatever is queued as one kernel), and reports exact tail latencies.
 //
 // At edge request rates Newton's latency is flat and tiny; the GPU's
 // queue must grow long before batching amortizes its matrix fetch -
-// the serving-system view of the paper's Fig. 12 crossover.
+// the serving-system view of the paper's Fig. 12 crossover. Every
+// number is deterministic: arrivals, weights and calibration all run
+// from explicit seeds.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
-	"sort"
 
 	"newton"
+)
+
+const (
+	arrivalSeed = 7 // fixes the Poisson streams
+	modelSeed   = 1 // fixes weights and calibration inputs
+	requests    = 20000
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// Measure Newton's per-query time for DLRM-s1 on the real simulator.
-	sys, err := newton.NewSystem(newton.DefaultConfig())
+	cfg := newton.DefaultConfig()
+	sc := newton.ServeConfig{
+		Models: []newton.ServedModel{{Name: "DLRM-s1", Rows: 512, Cols: 256}},
+		Seed:   modelSeed,
+		// Newton serves unbatched: its compute cannot exploit the reuse
+		// batching creates, so coalescing would only add queueing delay.
+		Options: newton.ServeOptions{MaxBatch: 1},
+	}
+	newtonSrv, err := cfg.NewServer(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	weights := newton.RandomMatrix(512, 256, 1)
-	placed, err := sys.Load(weights)
+	gc := sc
+	gc.Backend = newton.ServeGPU
+	// The GPU drains its queue as one kernel, up to 1024 queries.
+	gc.Options = newton.ServeOptions{MaxBatch: 1024}
+	gpuSrv, err := cfg.NewServer(gc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	input := make([]float32, 256)
-	for i := range input {
-		input[i] = float32(i%7) / 7
-	}
-	_, st, err := sys.MatVec(placed, input)
-	if err != nil {
-		log.Fatal(err)
-	}
-	newtonService := float64(st.Cycles) // ns per query, batch-invariant
 
-	gpu := newton.TitanV()
-	fmt.Printf("DLRM-s1 service time: Newton %v ns/query, GPU %.0f ns at batch 1\n\n",
-		newtonService, gpu.KernelCycles(512, 256, 1))
+	probe, err := newtonSrv.ServePoisson(1, 1e3, arrivalSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gprobe, err := gpuSrv.ServePoisson(1, 1e3, arrivalSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DLRM-s1 service time: Newton %.0f ns/query (measured), GPU %.0f ns at batch 1\n\n",
+		probe.Total.Latency.Max(), gprobe.Total.Latency.Max())
 	fmt.Println("load(qps)   Newton p50/p99 (us)    GPU p50/p99 (us)   winner")
 
 	for _, qps := range []float64{1e3, 1e5, 1e6, 3e6, 5e6} {
-		nl := simulate(qps, func(int) float64 { return newtonService }, 1)
-		gl := simulate(qps, func(batch int) float64 {
-			return gpu.KernelCycles(512, 256, batch)
-		}, 1024)
+		nres, err := newtonSrv.ServePoisson(requests, qps, arrivalSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gres, err := gpuSrv.ServePoisson(requests, qps, arrivalSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nl, gl := &nres.Total.Latency, &gres.Total.Latency
 		winner := "Newton"
-		if percentile(gl, 0.99) < percentile(nl, 0.99) {
+		if gl.P99() < nl.P99() {
 			winner = "GPU"
 		}
 		fmt.Printf("%9.0f   %7.1f / %-7.1f     %7.1f / %-7.1f    %s\n",
 			qps,
-			percentile(nl, 0.50)/1e3, percentile(nl, 0.99)/1e3,
-			percentile(gl, 0.50)/1e3, percentile(gl, 0.99)/1e3,
+			nl.P50()/1e3, nl.P99()/1e3,
+			gl.P50()/1e3, gl.P99()/1e3,
 			winner)
 	}
 	fmt.Println("\nNewton holds microsecond tails across edge loads; only past its")
 	fmt.Println("~3.5M qps saturation point do the GPU's amortized batches win -")
 	fmt.Println("the serving-system face of the paper's batch-64 crossover.")
-}
-
-// simulate runs 20k exponential arrivals at the given rate through a
-// single server whose service time depends on the batch it drains
-// (maxBatch = 1 disables batching). Returns per-query latencies in ns.
-func simulate(qps float64, service func(batch int) float64, maxBatch int) []float64 {
-	rng := rand.New(rand.NewSource(7))
-	const n = 20000
-	interarrival := 1e9 / qps // ns
-	arrivals := make([]float64, n)
-	t := 0.0
-	for i := range arrivals {
-		t += rng.ExpFloat64() * interarrival
-		arrivals[i] = t
-	}
-	latencies := make([]float64, 0, n)
-	clock := 0.0
-	for i := 0; i < n; {
-		if clock < arrivals[i] {
-			clock = arrivals[i]
-		}
-		// Drain whatever has arrived, up to the batch limit.
-		batch := 0
-		for i+batch < n && arrivals[i+batch] <= clock && batch < maxBatch {
-			batch++
-		}
-		if batch == 0 {
-			batch = 1
-		}
-		clock += service(batch)
-		for j := 0; j < batch; j++ {
-			latencies = append(latencies, clock-arrivals[i+j])
-		}
-		i += batch
-	}
-	return latencies
-}
-
-func percentile(v []float64, p float64) float64 {
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	idx := int(p * float64(len(s)-1))
-	return s[idx]
 }

@@ -32,6 +32,9 @@ type Config struct {
 	// Benchmarks overrides the Table II layer set (nil = full table);
 	// tests use a reduced set to stay fast.
 	Benchmarks []workloads.Bench
+	// ServingN overrides the serving study's arrivals per load
+	// (0 = 20000); tests use a shorter stream.
+	ServingN int
 }
 
 // Default returns the paper's evaluation configuration.

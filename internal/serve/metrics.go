@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records latency samples. It keeps every sample, so
+// percentiles are exact (nearest-rank on the sorted multiset) and
+// deterministic for a deterministic input stream; Buckets renders a
+// log-spaced view of the distribution for reports. Cells are in
+// command-clock cycles (nanoseconds), like every time in this module.
+//
+// Histogram is not safe for concurrent use; each shard worker owns one
+// and the collector merges them in shard order.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the exact p-quantile (0 <= p <= 1) by the
+// nearest-rank method the serving example always used: the sample at
+// index floor(p * (n-1)) of the sorted multiset. Zero samples yield 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(p * float64(len(h.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// P50, P95 and P99 are the tail-latency quantiles serving reports lead
+// with.
+func (h *Histogram) P50() float64 { return h.Percentile(0.50) }
+
+// P95 returns the 95th percentile.
+func (h *Histogram) P95() float64 { return h.Percentile(0.95) }
+
+// P99 returns the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Percentile(0.99) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Mean returns the arithmetic mean (0 when empty). Summation runs over
+// the sorted multiset so the result does not depend on arrival order.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// Merge folds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
+// Bucket is one cell of the log-spaced distribution view.
+type Bucket struct {
+	// Lo and Hi bound the bucket: Lo <= sample < Hi.
+	Lo, Hi float64
+	// N counts samples in the bucket.
+	N int
+}
+
+// Buckets returns the distribution over power-of-two cells starting at
+// the given cell width (e.g. 1000 for microsecond-scale cells). Empty
+// leading/trailing buckets are trimmed.
+func (h *Histogram) Buckets(cell float64) []Bucket {
+	if len(h.samples) == 0 || cell <= 0 {
+		return nil
+	}
+	h.sort()
+	var out []Bucket
+	lo, hi := 0.0, cell
+	i := 0
+	for i < len(h.samples) {
+		n := 0
+		for i < len(h.samples) && h.samples[i] < hi {
+			n++
+			i++
+		}
+		if n > 0 || len(out) > 0 {
+			out = append(out, Bucket{Lo: lo, Hi: hi, N: n})
+		}
+		lo, hi = hi, hi*2
+	}
+	for len(out) > 0 && out[len(out)-1].N == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// Percentile is the shared nearest-rank helper over a raw sample slice
+// (the function the serving example used to keep privately). The input
+// is not modified.
+func Percentile(v []float64, p float64) float64 {
+	h := Histogram{samples: append([]float64(nil), v...)}
+	return h.Percentile(p)
+}
+
+// Metrics aggregates one stream's serving behaviour: admission
+// counters, the latency histograms, and the virtual-time span that
+// turns counts into throughput.
+type Metrics struct {
+	// Latency is the per-request sojourn time: arrival to batch
+	// completion.
+	Latency Histogram
+	// QueueWait is the per-request time from arrival to batch launch
+	// (admission queueing plus the batcher's coalescing wait).
+	QueueWait Histogram
+	// Service is the per-request in-service time: batch launch to batch
+	// completion.
+	Service Histogram
+
+	// Arrived counts offered requests; Served completed ones; Shed the
+	// requests dropped by admission control (Arrived = Served + Shed
+	// once the stream drains).
+	Arrived, Served, Shed int64
+	// Launches counts batch launches; Served/Launches is the achieved
+	// mean batch size.
+	Launches int64
+
+	// FirstArrival and LastCompletion bound the run in virtual
+	// nanoseconds.
+	FirstArrival, LastCompletion float64
+}
+
+// MeanBatch returns the achieved mean batch size.
+func (m *Metrics) MeanBatch() float64 {
+	if m.Launches == 0 {
+		return 0
+	}
+	return float64(m.Served) / float64(m.Launches)
+}
+
+// ShedFraction returns the fraction of offered requests dropped.
+func (m *Metrics) ShedFraction() float64 {
+	if m.Arrived == 0 {
+		return 0
+	}
+	return float64(m.Shed) / float64(m.Arrived)
+}
+
+// Throughput returns served queries per second of virtual time.
+func (m *Metrics) Throughput() float64 {
+	span := m.LastCompletion - m.FirstArrival
+	if span <= 0 || m.Served == 0 {
+		return 0
+	}
+	return float64(m.Served) / (span / 1e9)
+}
+
+// Merge folds another stream's metrics into m. Merging is associative,
+// and because histograms are multisets the merged percentiles do not
+// depend on merge order; callers still merge in shard order so every
+// derived number is bit-identical across runs.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	m.Latency.Merge(&o.Latency)
+	m.QueueWait.Merge(&o.QueueWait)
+	m.Service.Merge(&o.Service)
+	m.Arrived += o.Arrived
+	m.Served += o.Served
+	m.Shed += o.Shed
+	m.Launches += o.Launches
+	if m.FirstArrival == 0 && m.LastCompletion == 0 {
+		m.FirstArrival, m.LastCompletion = o.FirstArrival, o.LastCompletion
+		return
+	}
+	if o.Served > 0 || o.Arrived > 0 {
+		m.FirstArrival = math.Min(m.FirstArrival, o.FirstArrival)
+		m.LastCompletion = math.Max(m.LastCompletion, o.LastCompletion)
+	}
+}
+
+// Summary renders the one-line report newton-serve prints per stream.
+func (m *Metrics) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "served %d/%d (shed %.1f%%)  p50/p95/p99 %s / %s / %s  mean batch %.2f  %.0f qps",
+		m.Served, m.Arrived, 100*m.ShedFraction(),
+		FormatNs(m.Latency.P50()), FormatNs(m.Latency.P95()), FormatNs(m.Latency.P99()),
+		m.MeanBatch(), m.Throughput())
+	return sb.String()
+}
+
+// FormatNs renders a nanosecond quantity with an adaptive unit.
+func FormatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3} // sorted: 1 2 3 4 5
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 3}, {0.99, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(v, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// The input must not be reordered.
+	if v[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{10, 30, 20} {
+		h.Record(v)
+	}
+	if h.Count() != 3 || h.Max() != 30 || h.Mean() != 20 {
+		t.Errorf("count/max/mean = %d/%v/%v", h.Count(), h.Max(), h.Mean())
+	}
+	if h.P50() != 20 {
+		t.Errorf("p50 = %v", h.P50())
+	}
+	var o Histogram
+	o.Record(40)
+	h.Merge(&o)
+	if h.Count() != 4 || h.Max() != 40 {
+		t.Errorf("after merge: count %d max %v", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.5, 1.5, 1.7, 5, 100} {
+		h.Record(v)
+	}
+	b := h.Buckets(1)
+	// Cells: [0,1) [1,2) [2,4) [4,8) ... up through the bucket holding 100.
+	if len(b) == 0 || b[0].N != 1 || b[1].N != 2 || b[3].N != 1 {
+		t.Fatalf("buckets = %+v", b)
+	}
+	total := 0
+	for _, c := range b {
+		total += c.N
+	}
+	if total != 5 {
+		t.Errorf("bucket total %d", total)
+	}
+	if last := b[len(b)-1]; last.N != 1 || !(last.Lo <= 100 && 100 < last.Hi) {
+		t.Errorf("last bucket %+v should hold 100", last)
+	}
+}
+
+func TestMetricsThroughputAndMerge(t *testing.T) {
+	a := Metrics{Arrived: 10, Served: 8, Shed: 2, Launches: 4, FirstArrival: 0, LastCompletion: 4e9}
+	if got := a.Throughput(); got != 2 {
+		t.Errorf("throughput = %v, want 2 qps", got)
+	}
+	if got := a.MeanBatch(); got != 2 {
+		t.Errorf("mean batch = %v", got)
+	}
+	if got := a.ShedFraction(); got != 0.2 {
+		t.Errorf("shed fraction = %v", got)
+	}
+	b := Metrics{Arrived: 5, Served: 5, Launches: 5, FirstArrival: 1e9, LastCompletion: 6e9}
+	var m Metrics
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.Arrived != 15 || m.Served != 13 || m.FirstArrival != 0 || m.LastCompletion != 6e9 {
+		t.Errorf("merged = %+v", m)
+	}
+	if s := m.Summary(); !strings.Contains(s, "served 13/15") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestFormatNs(t *testing.T) {
+	cases := map[float64]string{
+		12:    "12ns",
+		1200:  "1.2us",
+		3.3e6: "3.30ms",
+		2.5e9: "2.50s",
+		0:     "0ns",
+	}
+	for in, want := range cases {
+		if got := FormatNs(in); got != want {
+			t.Errorf("FormatNs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

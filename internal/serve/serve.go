@@ -1,0 +1,131 @@
+// Package serve is the inference-serving layer over the Newton
+// simulator: the system face of the paper's motivation (§I,
+// latency-critical ML inference) and of its Fig. 11/12 batching
+// crossovers.
+//
+// It models an open-loop serving fleet in deterministic virtual time:
+//
+//   - a stream of timestamped requests (seeded Poisson or a trace file),
+//   - channel-level sharding: each shard is a disjoint channel
+//     partition of the device (Config.Split in the root package)
+//     serving its own model set, with its own worker goroutine,
+//   - per-shard admission control (bounded queue, reject/shed policy)
+//     and a dynamic batcher (same-matrix coalescing up to a max-batch /
+//     max-wait deadline),
+//   - backends whose batch-k service times are measured on the live
+//     cycle-level simulator (Newton, Ideal Non-PIM) or evaluated from
+//     the calibrated analytic model (GPU),
+//   - tail-latency metrics: exact p50/p95/p99 over queue-wait, service
+//     and sojourn histograms, plus throughput and shed counters.
+//
+// Shards share nothing (channels share nothing in the paper's design,
+// §III-D), so worker goroutines run genuinely in parallel while every
+// reported number stays bit-identical run to run: each worker simulates
+// its own sub-stream sequentially, and results merge in shard order.
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shard is one independent serving partition: a backend (a channel
+// partition of a device, or a whole GPU) plus the set of model indices
+// it serves.
+type Shard struct {
+	// Name labels the shard in reports.
+	Name string
+	// Backend is the shard's device model.
+	Backend Backend
+	// Models lists the global model indices routed to this shard. A
+	// model may be served by exactly one shard.
+	Models []int
+	// Opt overrides the run-level Options for this shard (nil = use the
+	// run's), letting a latency shard run unbatched next to a
+	// throughput shard that batches aggressively.
+	Opt *Options
+}
+
+// ShardResult is one shard's outcome.
+type ShardResult struct {
+	Name    string
+	Backend string
+	Metrics Metrics
+}
+
+// Result is a serving run's outcome: per-shard metrics plus the
+// shard-order merge.
+type Result struct {
+	Shards []ShardResult
+	Total  Metrics
+}
+
+// Run replays the request stream against the shard fleet and returns
+// the metrics. Each shard's sub-stream is simulated by its own worker
+// goroutine (shards share nothing); a collector gathers results and
+// merges them in shard order, so the output is deterministic for a
+// deterministic input stream regardless of goroutine scheduling.
+func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serve: no shards")
+	}
+	route := make(map[int]int) // model -> shard index
+	for si, sh := range shards {
+		if sh.Backend == nil {
+			return nil, fmt.Errorf("serve: shard %d (%s) has no backend", si, sh.Name)
+		}
+		for _, m := range sh.Models {
+			if prev, dup := route[m]; dup {
+				return nil, fmt.Errorf("serve: model %d served by both shard %d and %d", m, prev, si)
+			}
+			route[m] = si
+		}
+	}
+
+	// Partition the stream, preserving arrival order per shard.
+	ordered := append([]Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].T < ordered[j].T })
+	streams := make([][]Request, len(shards))
+	for _, r := range ordered {
+		if r.T < 0 {
+			return nil, fmt.Errorf("serve: negative arrival time %g", r.T)
+		}
+		si, ok := route[r.Model]
+		if !ok {
+			return nil, fmt.Errorf("serve: request for model %d, which no shard serves", r.Model)
+		}
+		streams[si] = append(streams[si], r)
+	}
+
+	// One worker goroutine per shard; a channel funnels results to the
+	// collector below. Workers share nothing but the channel.
+	type done struct {
+		idx int
+		m   Metrics
+	}
+	ch := make(chan done)
+	for si := range shards {
+		o := opt
+		if shards[si].Opt != nil {
+			o = *shards[si].Opt
+		}
+		go func(idx int, sh Shard, stream []Request, o Options) {
+			sim := shardSim{backend: sh.Backend, opt: o, arr: stream}
+			ch <- done{idx: idx, m: sim.run()}
+		}(si, shards[si], streams[si], o)
+	}
+
+	res := &Result{Shards: make([]ShardResult, len(shards))}
+	for range shards {
+		d := <-ch
+		res.Shards[d.idx] = ShardResult{
+			Name:    shards[d.idx].Name,
+			Backend: shards[d.idx].Backend.Name(),
+			Metrics: d.m,
+		}
+	}
+	for i := range res.Shards {
+		res.Total.Merge(&res.Shards[i].Metrics)
+	}
+	return res, nil
+}

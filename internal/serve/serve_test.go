@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"newton/internal/dram"
+	"newton/internal/gpu"
+	"newton/internal/host"
+)
+
+// tb builds a single-model table backend with the given cumulative
+// batch times.
+func tb(times ...float64) *TableBackend {
+	return &TableBackend{Label: "table", Times: map[int][]float64{0: times}}
+}
+
+func oneShard(b Backend, models ...int) []Shard {
+	if len(models) == 0 {
+		models = []int{0}
+	}
+	return []Shard{{Name: "s0", Backend: b, Models: models}}
+}
+
+// TestHandTraceExact walks a hand-computable trace through the queue
+// and batcher and asserts the exact resulting tail latencies and
+// throughput — not approximations. The schedule, worked by hand:
+//
+//	r0 arrives at 0, launches alone at 0 (idle device), done at 100.
+//	r1 arrives at 10, waits for the busy device; r2 (20) joins it; the
+//	pair launches at 100 as a batch of 2 (150 cycles), done at 250.
+//	r3 arrives at 500 into an idle system, done at 600.
+//
+// Latencies are therefore {100, 240, 230, 100}.
+func TestHandTraceExact(t *testing.T) {
+	reqs := []Request{{T: 0}, {T: 10}, {T: 20}, {T: 500}}
+	opt := Options{MaxBatch: 2, MaxWait: 0}
+	res, err := Run(oneShard(tb(100, 150)), reqs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &res.Total
+	if m.Served != 4 || m.Arrived != 4 || m.Shed != 0 || m.Launches != 3 {
+		t.Fatalf("counters: %+v", m)
+	}
+	// Sorted latencies: 100, 100, 230, 240.
+	if p50 := m.Latency.P50(); p50 != 100 {
+		t.Errorf("p50 = %v, want exactly 100", p50)
+	}
+	if p99 := m.Latency.P99(); p99 != 230 {
+		t.Errorf("p99 = %v, want exactly 230", p99)
+	}
+	if max := m.Latency.Max(); max != 240 {
+		t.Errorf("max = %v, want exactly 240", max)
+	}
+	if q99 := m.QueueWait.Percentile(0.99); q99 != 80 {
+		t.Errorf("queue-wait p99 = %v, want exactly 80", q99)
+	}
+	wantTput := 4 / (600.0 / 1e9)
+	if got := m.Throughput(); got != wantTput {
+		t.Errorf("throughput = %v, want exactly %v", got, wantTput)
+	}
+	if mb := m.MeanBatch(); mb != 4.0/3 {
+		t.Errorf("mean batch = %v", mb)
+	}
+}
+
+// TestMaxWaitDeadline checks the batcher's max-wait behaviour: an idle
+// device holds the batch head until the deadline, collecting
+// co-batchable arrivals, then launches even though the batch is short.
+func TestMaxWaitDeadline(t *testing.T) {
+	reqs := []Request{{T: 0}, {T: 30}, {T: 100}}
+	res, err := Run(oneShard(tb(100, 150, 180)), reqs, Options{MaxBatch: 3, MaxWait: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r0+r1 launch at the t=50 deadline as a pair (done 200: latencies
+	// 200 and 170); r2 waits out the busy device and runs alone
+	// 200..300 (latency 200).
+	want := []float64{170, 200, 200}
+	got := append([]float64(nil), res.Total.Latency.samples...)
+	res.Total.Latency.sort()
+	if !reflect.DeepEqual(res.Total.Latency.samples, want) {
+		t.Errorf("latencies %v (unsorted %v), want %v", res.Total.Latency.samples, got, want)
+	}
+	if res.Total.Launches != 2 {
+		t.Errorf("launches = %d, want 2", res.Total.Launches)
+	}
+}
+
+// TestFullBatchLaunchesEarly checks that a full batch does not wait out
+// the deadline.
+func TestFullBatchLaunchesEarly(t *testing.T) {
+	reqs := []Request{{T: 0}, {T: 10}}
+	res, err := Run(oneShard(tb(100, 150)), reqs, Options{MaxBatch: 2, MaxWait: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair fills at t=10 and launches immediately: done at 160.
+	if max := res.Total.Latency.Max(); max != 160 {
+		t.Errorf("max latency = %v, want 160 (launch at fill time, not deadline)", max)
+	}
+}
+
+// TestAdmissionControl exercises the bounded queue under both shed
+// policies.
+func TestAdmissionControl(t *testing.T) {
+	reqs := []Request{{T: 0}, {T: 1}, {T: 2}, {T: 3}}
+	base := Options{MaxBatch: 1, QueueDepth: 1}
+
+	newest := base
+	newest.Policy = ShedNewest
+	res, err := Run(oneShard(tb(100)), reqs, newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Served != 2 || res.Total.Shed != 2 {
+		t.Fatalf("shed-newest served/shed = %d/%d, want 2/2", res.Total.Served, res.Total.Shed)
+	}
+	// r0 (latency 100) and r1 (launched at 100, latency 199) survive.
+	if max := res.Total.Latency.Max(); max != 199 {
+		t.Errorf("shed-newest max latency = %v, want 199", max)
+	}
+
+	oldest := base
+	oldest.Policy = ShedOldest
+	res, err = Run(oneShard(tb(100)), reqs, oldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Served != 2 || res.Total.Shed != 2 {
+		t.Fatalf("shed-oldest served/shed = %d/%d, want 2/2", res.Total.Served, res.Total.Shed)
+	}
+	// r0 survives; r1 and r2 are displaced; r3 (launched at 100,
+	// latency 197) survives.
+	if max := res.Total.Latency.Max(); max != 197 {
+		t.Errorf("shed-oldest max latency = %v, want 197", max)
+	}
+}
+
+// TestBatcherLeavesOtherModelsQueued checks same-matrix coalescing:
+// a launch takes only the head's model, FIFO order among the rest
+// preserved.
+func TestBatcherLeavesOtherModelsQueued(t *testing.T) {
+	b := &TableBackend{Label: "table", Times: map[int][]float64{
+		0: {100, 120},
+		1: {100, 120},
+	}}
+	reqs := []Request{{T: 0, Model: 0}, {T: 1, Model: 1}, {T: 2, Model: 0}}
+	res, err := Run(oneShard(b, 0, 1), reqs, Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r0 runs 0..100. r1 (model 1) launches at 100 alone — r2 (model 0)
+	// cannot join it — then r2 runs 200..300.
+	if res.Total.Launches != 3 {
+		t.Errorf("launches = %d, want 3 (no cross-model batching)", res.Total.Launches)
+	}
+	if max := res.Total.Latency.Max(); max != 298 {
+		t.Errorf("max latency = %v, want 298", max)
+	}
+}
+
+// TestRunValidation covers the routing error paths.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, nil, Options{}); err == nil {
+		t.Error("no shards should error")
+	}
+	if _, err := Run(oneShard(tb(1)), []Request{{T: 0, Model: 7}}, Options{}); err == nil {
+		t.Error("unrouted model should error")
+	}
+	dup := []Shard{
+		{Name: "a", Backend: tb(1), Models: []int{0}},
+		{Name: "b", Backend: tb(1), Models: []int{0}},
+	}
+	if _, err := Run(dup, nil, Options{}); err == nil {
+		t.Error("duplicate model routing should error")
+	}
+	if _, err := Run(oneShard(tb(1)), []Request{{T: -5}}, Options{}); err == nil {
+		t.Error("negative arrival should error")
+	}
+	if _, err := Run([]Shard{{Name: "n"}}, nil, Options{}); err == nil {
+		t.Error("nil backend should error")
+	}
+}
+
+// TestShardedRunDeterministic is the subsystem's core guarantee: a
+// four-shard fleet with worker goroutines, fed a fixed seeded Poisson
+// stream, produces bit-identical results on every run — exact equality
+// of every percentile, counter and throughput, not approximate
+// agreement.
+func TestShardedRunDeterministic(t *testing.T) {
+	weights := []float64{4, 2, 2, 1}
+	reqs := PoissonArrivals(20000, 2e6, weights, 7)
+	backend := func(model int) *TableBackend {
+		return &TableBackend{Label: "table", Times: map[int][]float64{
+			model: {300 + 10*float64(model), 450 + 10*float64(model)},
+		}}
+	}
+	shards := []Shard{
+		{Name: "s0", Backend: backend(0), Models: []int{0}},
+		{Name: "s1", Backend: backend(1), Models: []int{1}},
+		{Name: "s2", Backend: backend(2), Models: []int{2}},
+		{Name: "s3", Backend: backend(3), Models: []int{3}},
+	}
+	opt := Options{MaxBatch: 2, MaxWait: 500, QueueDepth: 64}
+
+	run := func() *Result {
+		res, err := Run(shards, reqs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force identical lazy-sort state before comparing.
+		res.Total.Latency.sort()
+		res.Total.QueueWait.sort()
+		res.Total.Service.sort()
+		for i := range res.Shards {
+			res.Shards[i].Metrics.Latency.sort()
+			res.Shards[i].Metrics.QueueWait.sort()
+			res.Shards[i].Metrics.Service.sort()
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Total.Latency.P99() != b.Total.Latency.P99() {
+		t.Errorf("p99 differs across runs: %v vs %v", a.Total.Latency.P99(), b.Total.Latency.P99())
+	}
+	if a.Total.Throughput() != b.Total.Throughput() {
+		t.Errorf("throughput differs across runs: %v vs %v", a.Total.Throughput(), b.Total.Throughput())
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("full results differ across runs")
+	}
+	if a.Total.Served+a.Total.Shed != 20000 {
+		t.Errorf("served %d + shed %d != 20000", a.Total.Served, a.Total.Shed)
+	}
+	for _, sr := range a.Shards {
+		if sr.Metrics.Arrived == 0 {
+			t.Errorf("shard %s saw no traffic", sr.Name)
+		}
+	}
+}
+
+// dcfgForTest builds a small DRAM config for calibration tests.
+func dcfgForTest(channels int) dram.Config {
+	geo := dram.HBM2EGeometry(channels)
+	return dram.Config{Geometry: geo, Timing: dram.AiMTiming()}
+}
+
+// TestNewtonBackendCalibration measures a real (small) Newton device
+// and checks the Fig. 11 shape: cumulative batch times strictly
+// increasing and close to linear in k, and the whole table reproducible.
+func TestNewtonBackendCalibration(t *testing.T) {
+	models := map[int]ModelShape{0: {Name: "DLRM-s1", Rows: 512, Cols: 256}}
+	nb, err := NewNewtonBackend(dcfgForTest(2), host.Newton(), models, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := nb.Times[0]
+	if len(tab) != 4 {
+		t.Fatalf("table = %v", tab)
+	}
+	for k := 1; k < len(tab); k++ {
+		if tab[k] <= tab[k-1] {
+			t.Errorf("batch times not increasing: %v", tab)
+		}
+	}
+	// Linear-in-k within refresh jitter: batch-4 near 4x batch-1.
+	if ratio := tab[3] / tab[0]; ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("batch-4/batch-1 = %.2f, want ~4 (Newton cannot exploit batch reuse)", ratio)
+	}
+	// Extrapolation continues the last increment.
+	inc := tab[3] - tab[2]
+	if got, want := nb.ServiceCycles(0, 6), tab[3]+2*inc; got != want {
+		t.Errorf("extrapolated batch-6 = %v, want %v", got, want)
+	}
+	nb2, err := NewNewtonBackend(dcfgForTest(2), host.Newton(), models, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nb.Times, nb2.Times) {
+		t.Error("calibration not reproducible")
+	}
+}
+
+// TestIdealBackendFlat checks the Ideal Non-PIM serving table: batch-k
+// costs batch-1 (infinite compute exploits all reuse).
+func TestIdealBackendFlat(t *testing.T) {
+	models := map[int]ModelShape{0: {Name: "DLRM-s1", Rows: 512, Cols: 256}}
+	ib, err := NewIdealBackend(dcfgForTest(2), models, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.ServiceCycles(0, 1) <= 0 {
+		t.Fatal("batch-1 time should be positive")
+	}
+	if ib.ServiceCycles(0, 16) != ib.ServiceCycles(0, 1) {
+		t.Errorf("ideal batch-16 %v != batch-1 %v", ib.ServiceCycles(0, 16), ib.ServiceCycles(0, 1))
+	}
+}
+
+// TestGPUBackendBatchAmortization checks the GPU serving backend
+// inherits the analytic model's sublinear batching.
+func TestGPUBackendBatchAmortization(t *testing.T) {
+	g := NewGPUBackend(gpu.TitanV(), map[int]ModelShape{0: {Name: "DLRM-s1", Rows: 512, Cols: 256}})
+	b1, b64 := g.ServiceCycles(0, 1), g.ServiceCycles(0, 64)
+	if b64 >= 64*b1 {
+		t.Errorf("GPU batching should amortize: batch-64 %v vs 64x batch-1 %v", b64, 64*b1)
+	}
+	if g.ServiceCycles(9, 1) != 0 {
+		t.Error("unknown model should cost 0")
+	}
+}
+
+// TestNewtonVsGPUServing runs the serving-level Fig. 12 story in
+// miniature: at a light load Newton's p99 beats the batching GPU; at a
+// saturating load the GPU's amortized batches win.
+func TestNewtonVsGPUServing(t *testing.T) {
+	models := map[int]ModelShape{0: {Name: "DLRM-s1", Rows: 512, Cols: 256}}
+	nb, err := NewNewtonBackend(dcfgForTest(24), host.Newton(), models, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := NewGPUBackend(gpu.TitanV(), models)
+
+	p99 := func(b Backend, opt Options, qps float64) float64 {
+		reqs := PoissonArrivals(4000, qps, nil, 7)
+		res, err := Run(oneShard(b), reqs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total.Latency.P99()
+	}
+	newtonOpt := Options{MaxBatch: 1}
+	gpuOpt := Options{MaxBatch: 1024}
+	lowQPS, highQPS := 1e5, 5e6
+	if n, g := p99(nb, newtonOpt, lowQPS), p99(gb, gpuOpt, lowQPS); n >= g {
+		t.Errorf("at %.0f qps Newton p99 %v should beat GPU %v", lowQPS, n, g)
+	}
+	if n, g := p99(nb, newtonOpt, highQPS), p99(gb, gpuOpt, highQPS); g >= n {
+		t.Errorf("at %.0f qps GPU p99 %v should beat Newton %v", highQPS, g, n)
+	}
+}
+
+// TestTraceRoundTrip checks the trace file format.
+func TestTraceRoundTrip(t *testing.T) {
+	reqs := []Request{{T: 0, Model: 0}, {T: 1500.5, Model: 2}, {T: 3e6, Model: 1}}
+	var sb strings.Builder
+	if err := FormatTrace(&sb, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Errorf("round trip: %v != %v", got, reqs)
+	}
+	// Unsorted traces are sorted; junk is rejected.
+	got, err = ParseTrace(strings.NewReader("# c\n200 1\n100 0\n"))
+	if err != nil || got[0].T != 100 {
+		t.Fatalf("sort on parse: %v, %v", got, err)
+	}
+	if _, err := ParseTrace(strings.NewReader("bogus line\n")); err == nil {
+		t.Error("junk should error")
+	}
+	if _, err := ParseTrace(strings.NewReader("-5 0\n")); err == nil {
+		t.Error("negative time should error")
+	}
+}
+
+// TestPoissonArrivals checks determinism, ordering and model mixing.
+func TestPoissonArrivals(t *testing.T) {
+	a := PoissonArrivals(1000, 1e6, []float64{1, 3}, 11)
+	b := PoissonArrivals(1000, 1e6, []float64{1, 3}, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same trace")
+	}
+	counts := map[int]int{}
+	for i, r := range a {
+		if i > 0 && r.T < a[i-1].T {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		counts[r.Model]++
+	}
+	if counts[0] == 0 || counts[1] == 0 || counts[1] < counts[0] {
+		t.Errorf("model mix %v should favour model 1", counts)
+	}
+	if PoissonArrivals(0, 1e6, nil, 1) != nil || PoissonArrivals(10, 0, nil, 1) != nil {
+		t.Error("degenerate parameters should yield nil")
+	}
+	if c := PoissonArrivals(100, 1e6, nil, 3); c[0].Model != 0 {
+		t.Error("nil weights should route everything to model 0")
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import "math"
+
+// ShedPolicy selects what admission control drops when the bounded
+// queue is full.
+type ShedPolicy int
+
+const (
+	// ShedNewest rejects the arriving request (load shedding at the
+	// door; the default).
+	ShedNewest ShedPolicy = iota
+	// ShedOldest drops the longest-waiting request to admit the new one
+	// (freshness-first, for workloads where stale answers are worthless).
+	ShedOldest
+)
+
+// String names the policy.
+func (p ShedPolicy) String() string {
+	if p == ShedOldest {
+		return "shed-oldest"
+	}
+	return "shed-newest"
+}
+
+// Options tunes a shard's queue and batcher.
+type Options struct {
+	// MaxBatch caps requests per launch. Values below 1 mean 1 (no
+	// batching), Newton's natural operating point: its compute cannot
+	// exploit batch reuse, so coalescing only adds queueing delay.
+	MaxBatch int
+	// MaxWait is how long (virtual ns) a batch head may wait for
+	// co-batchable arrivals while the device is idle. 0 launches as soon
+	// as the device frees up, with whatever is queued — the
+	// drain-the-queue batching a throughput-oriented GPU uses.
+	MaxWait float64
+	// QueueDepth bounds the admitted-but-waiting queue; 0 is unbounded.
+	// Arrivals past the bound are shed per Policy.
+	QueueDepth int
+	// Policy picks the victim when the queue is full.
+	Policy ShedPolicy
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch < 1 {
+		return 1
+	}
+	return o.MaxBatch
+}
+
+func (o Options) maxWait() float64 {
+	if o.MaxWait < 0 || math.IsNaN(o.MaxWait) {
+		return 0
+	}
+	return o.MaxWait
+}
+
+// shardSim runs one shard's virtual-time discrete-event simulation:
+// a bounded FIFO admission queue in front of a dynamic batcher in front
+// of a single device (the shard's channel partition, which serves one
+// batch at a time — the paper's per-channel exclusivity, §III-D).
+//
+// The simulation is sequential and allocation-light; concurrency lives
+// one level up, where every shard runs its own worker goroutine.
+type shardSim struct {
+	backend Backend
+	opt     Options
+
+	arr   []Request
+	queue []int // indices into arr: admitted, waiting
+	free  float64
+	m     Metrics
+}
+
+// run simulates the full arrival stream and returns the shard metrics.
+func (s *shardSim) run() Metrics {
+	maxBatch := s.opt.maxBatch()
+	maxWait := s.opt.maxWait()
+	s.m.FirstArrival = math.Inf(1)
+
+	i := 0 // next un-admitted arrival
+	clock := 0.0
+	for i < len(s.arr) || len(s.queue) > 0 {
+		if len(s.queue) == 0 {
+			clock = s.arr[i].T
+			s.admit(i)
+			i++
+			continue
+		}
+		head := s.queue[0]
+		model := s.arr[head].Model
+		var launchAt float64
+		if s.sameModelQueued(model) >= maxBatch {
+			// Full batch: launch as soon as the device frees up.
+			launchAt = math.Max(s.free, clock)
+		} else {
+			// Hold for co-batchable arrivals until the head's deadline,
+			// or until the device frees up, whichever is later.
+			launchAt = math.Max(s.free, s.arr[head].T+maxWait)
+		}
+		if i < len(s.arr) && s.arr[i].T < launchAt {
+			clock = s.arr[i].T
+			s.admit(i)
+			i++
+			continue
+		}
+		clock = launchAt
+		s.launch(model, maxBatch, launchAt)
+	}
+	if math.IsInf(s.m.FirstArrival, 1) {
+		s.m.FirstArrival = 0
+	}
+	return s.m
+}
+
+// admit applies admission control to arrival index idx.
+func (s *shardSim) admit(idx int) {
+	s.m.Arrived++
+	if t := s.arr[idx].T; t < s.m.FirstArrival {
+		s.m.FirstArrival = t
+	}
+	if s.opt.QueueDepth > 0 && len(s.queue) >= s.opt.QueueDepth {
+		s.m.Shed++
+		if s.opt.Policy == ShedOldest {
+			s.queue = append(s.queue[1:], idx)
+		}
+		return
+	}
+	s.queue = append(s.queue, idx)
+}
+
+// sameModelQueued counts queued requests for the model.
+func (s *shardSim) sameModelQueued(model int) int {
+	n := 0
+	for _, idx := range s.queue {
+		if s.arr[idx].Model == model {
+			n++
+		}
+	}
+	return n
+}
+
+// launch coalesces up to maxBatch queued requests of the model (FIFO
+// order, leaving other models queued), runs them as one batch on the
+// backend, and records per-request metrics.
+func (s *shardSim) launch(model, maxBatch int, at float64) {
+	members := make([]int, 0, maxBatch)
+	rest := s.queue[:0]
+	for _, idx := range s.queue {
+		if s.arr[idx].Model == model && len(members) < maxBatch {
+			members = append(members, idx)
+		} else {
+			rest = append(rest, idx)
+		}
+	}
+	s.queue = rest
+
+	done := at + s.backend.ServiceCycles(model, len(members))
+	s.free = done
+	s.m.Launches++
+	s.m.Served += int64(len(members))
+	if done > s.m.LastCompletion {
+		s.m.LastCompletion = done
+	}
+	for _, idx := range members {
+		t := s.arr[idx].T
+		s.m.QueueWait.Record(at - t)
+		s.m.Service.Record(done - at)
+		s.m.Latency.Record(done - t)
+	}
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# check.sh - the repository's full verification gate:
+# build everything, vet everything, run all tests with the race
+# detector (the serving subsystem's worker/batcher goroutines must be
+# race-free, not just correct).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "ok"

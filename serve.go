@@ -1,0 +1,248 @@
+package newton
+
+import (
+	"fmt"
+	"io"
+
+	"newton/internal/gpu"
+	"newton/internal/serve"
+)
+
+// The serving types are the internal/serve package's, re-exported so
+// library users can drive a serving fleet without reaching into
+// internal packages. See internal/serve for the model: deterministic
+// virtual time, per-shard worker goroutines, exact tail percentiles.
+type (
+	// ServeRequest is one inference query: an arrival time in virtual
+	// nanoseconds and a served-model index.
+	ServeRequest = serve.Request
+	// ServeOptions tunes the admission queue (QueueDepth, shed Policy)
+	// and the dynamic batcher (MaxBatch, MaxWait).
+	ServeOptions = serve.Options
+	// ServeMetrics carries a stream's counters, latency histograms and
+	// throughput.
+	ServeMetrics = serve.Metrics
+	// ServeHistogram records latency samples with exact percentiles.
+	ServeHistogram = serve.Histogram
+	// ServeResult is a run's outcome: per-shard metrics plus the merge.
+	ServeResult = serve.Result
+	// ShedPolicy picks the victim when the bounded queue is full.
+	ShedPolicy = serve.ShedPolicy
+)
+
+// Shed policy values.
+const (
+	ShedNewest = serve.ShedNewest
+	ShedOldest = serve.ShedOldest
+)
+
+// ServedModel is one entry of a serving fleet's model set.
+type ServedModel struct {
+	// Name labels the model.
+	Name string
+	// Rows x Cols is the weight matrix (the vector is Cols wide).
+	Rows, Cols int
+	// Channels is the size of the model's private channel partition on
+	// a Newton device (the §III-D multi-tenancy model). Leave every
+	// model's Channels zero to split the device evenly.
+	Channels int
+	// Weight is the model's share of generated Poisson traffic
+	// (default 1; ignored for replayed traces).
+	Weight float64
+}
+
+// ServeBackendKind selects the device a Server simulates.
+type ServeBackendKind int
+
+const (
+	// ServeNewton shards the Newton device by channel partition, one
+	// shard per model, with measured batch service times.
+	ServeNewton ServeBackendKind = iota
+	// ServeGPU serves every model from one batching GPU (the calibrated
+	// Titan V-class model).
+	ServeGPU
+	// ServeIdeal serves from the Ideal Non-PIM baseline, whose infinite
+	// compute makes every batch cost the batch-1 time.
+	ServeIdeal
+)
+
+// String names the backend kind.
+func (k ServeBackendKind) String() string {
+	switch k {
+	case ServeGPU:
+		return "gpu"
+	case ServeIdeal:
+		return "ideal"
+	default:
+		return "newton"
+	}
+}
+
+// ServeConfig describes a serving fleet over a device configuration.
+type ServeConfig struct {
+	// Models is the served model set; request Model indices refer to
+	// it.
+	Models []ServedModel
+	// Backend selects the simulated device (default ServeNewton).
+	Backend ServeBackendKind
+	// Options tunes every shard's queue and batcher.
+	Options ServeOptions
+	// Seed generates the deterministic weights and calibration inputs.
+	Seed int64
+	// CalibrateBatches is the measured batch-table depth for Newton and
+	// Ideal backends; 0 picks min(MaxBatch, 8) and the table
+	// extrapolates linearly beyond it (Newton's batch time is linear in
+	// k, so the extrapolation is the measured trend, §V-D).
+	CalibrateBatches int
+}
+
+// Server is a simulated inference-serving fleet bound to one device
+// configuration: Newton channel shards, a batching GPU, or the ideal
+// baseline, behind a request queue and dynamic batcher.
+type Server struct {
+	cfg    ServeConfig
+	shards []serve.Shard
+}
+
+// NewServer builds the fleet. For Newton backends each model gets its
+// own channel partition via Config.Split, so partitions are validated
+// to cover the device exactly; GPU and Ideal fleets serve all models
+// from one device-wide shard.
+func (c Config) NewServer(sc ServeConfig) (*Server, error) {
+	if len(sc.Models) == 0 {
+		return nil, fmt.Errorf("newton: NewServer needs at least one model")
+	}
+	shapes := make(map[int]serve.ModelShape, len(sc.Models))
+	all := make([]int, len(sc.Models))
+	for i, m := range sc.Models {
+		if m.Rows < 1 || m.Cols < 1 {
+			return nil, fmt.Errorf("newton: served model %q has shape %dx%d", m.Name, m.Rows, m.Cols)
+		}
+		shapes[i] = serve.ModelShape{Name: m.Name, Rows: m.Rows, Cols: m.Cols}
+		all[i] = i
+	}
+	calibrate := sc.CalibrateBatches
+	if calibrate < 1 {
+		calibrate = sc.Options.MaxBatch
+		if calibrate < 1 {
+			calibrate = 1
+		}
+		if calibrate > 8 {
+			calibrate = 8
+		}
+	}
+
+	srv := &Server{cfg: sc}
+	switch sc.Backend {
+	case ServeGPU:
+		g := gpu.TitanV()
+		g.MemChannels = c.Channels
+		srv.shards = []serve.Shard{{
+			Name:    "gpu",
+			Backend: serve.NewGPUBackend(g, shapes),
+			Models:  all,
+		}}
+	case ServeIdeal:
+		dcfg, err := c.dramConfig()
+		if err != nil {
+			return nil, err
+		}
+		b, err := serve.NewIdealBackend(dcfg, shapes, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		srv.shards = []serve.Shard{{Name: "ideal", Backend: b, Models: all}}
+	default:
+		parts, err := c.splitForModels(sc.Models)
+		if err != nil {
+			return nil, err
+		}
+		subs, err := c.Split(parts...)
+		if err != nil {
+			return nil, err
+		}
+		for i, sub := range subs {
+			dcfg, err := sub.dramConfig()
+			if err != nil {
+				return nil, err
+			}
+			own := map[int]serve.ModelShape{i: shapes[i]}
+			b, err := serve.NewNewtonBackend(dcfg, sub.hostOptions(), own, calibrate, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			srv.shards = append(srv.shards, serve.Shard{
+				Name:    fmt.Sprintf("%s/%dch", sc.Models[i].Name, sub.Channels),
+				Backend: b,
+				Models:  []int{i},
+			})
+		}
+	}
+	return srv, nil
+}
+
+// splitForModels resolves the per-model partition sizes: explicit
+// Channels fields, or an even split when all are zero.
+func (c Config) splitForModels(models []ServedModel) ([]int, error) {
+	parts := make([]int, len(models))
+	allZero := true
+	for i, m := range models {
+		if m.Channels < 0 {
+			return nil, fmt.Errorf("newton: served model %q has %d channels", m.Name, m.Channels)
+		}
+		if m.Channels > 0 {
+			allZero = false
+		}
+		parts[i] = m.Channels
+	}
+	if !allZero {
+		return parts, nil
+	}
+	if c.Channels%len(models) != 0 {
+		return nil, fmt.Errorf("newton: %d channels do not split evenly over %d models; set ServedModel.Channels",
+			c.Channels, len(models))
+	}
+	for i := range parts {
+		parts[i] = c.Channels / len(models)
+	}
+	return parts, nil
+}
+
+// Replay runs a request stream through the fleet.
+func (s *Server) Replay(reqs []ServeRequest) (*ServeResult, error) {
+	return serve.Run(s.shards, reqs, s.cfg.Options)
+}
+
+// ServePoisson replays n open-loop Poisson arrivals at the offered
+// load (queries per second of virtual time), mixing models by their
+// Weight. The seed fully determines the trace, so results are exactly
+// reproducible.
+func (s *Server) ServePoisson(n int, qps float64, seed int64) (*ServeResult, error) {
+	return s.Replay(PoissonRequests(n, qps, s.trafficWeights(), seed))
+}
+
+// trafficWeights lowers the model set's Weight fields (default 1).
+func (s *Server) trafficWeights() []float64 {
+	w := make([]float64, len(s.cfg.Models))
+	for i, m := range s.cfg.Models {
+		w[i] = m.Weight
+		if w[i] <= 0 {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// PoissonRequests generates n seeded open-loop Poisson arrivals at the
+// given queries-per-second, mixing model indices by the (unnormalized)
+// weights; nil weights route everything to model 0.
+func PoissonRequests(n int, qps float64, weights []float64, seed int64) []ServeRequest {
+	return serve.PoissonArrivals(n, qps, weights, seed)
+}
+
+// ParseServeTrace reads an arrival trace ("<arrival_ns> <model_index>"
+// per line, #-comments allowed), sorting it by arrival time.
+func ParseServeTrace(r io.Reader) ([]ServeRequest, error) { return serve.ParseTrace(r) }
+
+// FormatServeTrace writes requests in the ParseServeTrace format.
+func FormatServeTrace(w io.Writer, reqs []ServeRequest) error { return serve.FormatTrace(w, reqs) }

@@ -1,0 +1,235 @@
+package newton
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps serving tests quick: a 4-channel device.
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	return cfg
+}
+
+func TestConfigSplitEdgeCases(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.Split(-3, 27); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if _, err := cfg.Split(7, 7, 7); err == nil {
+		t.Error("under-allocating split (21 of 24 channels) accepted")
+	}
+	if _, err := cfg.Split(20, 20); err == nil {
+		t.Error("over-allocating split accepted")
+	}
+	one, err := cfg.Split(24)
+	if err != nil || len(one) != 1 || one[0].Channels != 24 {
+		t.Fatalf("identity split: %v, %v", one, err)
+	}
+	// Split must not mutate the receiver, and non-channel fields carry
+	// over to every partition.
+	quad := QuadLatchConfig()
+	quad.Channels = 24
+	parts, err := quad.Split(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.Channels != 24 {
+		t.Error("Split mutated the receiver")
+	}
+	for _, p := range parts {
+		if p.LatchesPerBank != 4 || p.Opts.Reuse {
+			t.Error("partition lost non-channel configuration")
+		}
+	}
+}
+
+// TestConfigSplitIndependentSystems checks the §III-D share-nothing
+// claim at the API level: systems built from split partitions advance
+// their clocks independently, and a partition behaves exactly like a
+// fresh device of its size.
+func TestConfigSplitIndependentSystems(t *testing.T) {
+	cfg := smallCfg()
+	parts, err := cfg.Split(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, err := NewSystem(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := NewSystem(parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RandomMatrix(128, 64, 3)
+	pa, err := sysA.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float32, 64)
+	for i := range input {
+		input[i] = float32(i%5) / 5
+	}
+	before := sysB.Now()
+	var outA []float32
+	for i := 0; i < 3; i++ {
+		if outA, _, err = sysA.MatVec(pa, input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sysB.Now() != before {
+		t.Errorf("running partition A advanced partition B's clock %d -> %d", before, sysB.Now())
+	}
+	// A fresh 2-channel device gives the same answer and the same
+	// clock as the partition: nothing leaked between sub-systems.
+	fresh, err := NewSystem(Config{Channels: 2, Banks: cfg.Banks, Opts: cfg.Opts, NormExposureCycles: cfg.NormExposureCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fresh.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outF []float32
+	for i := 0; i < 3; i++ {
+		if outF, _, err = fresh.MatVec(pf, input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(outA, outF) {
+		t.Error("partition output differs from an equivalent fresh device")
+	}
+	if sysA.Now() != fresh.Now() {
+		t.Errorf("partition clock %d differs from fresh device clock %d", sysA.Now(), fresh.Now())
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := cfg.NewServer(ServeConfig{}); err == nil {
+		t.Error("empty model set accepted")
+	}
+	bad := ServeConfig{Models: []ServedModel{{Name: "x", Rows: 0, Cols: 4}}}
+	if _, err := cfg.NewServer(bad); err == nil {
+		t.Error("degenerate shape accepted")
+	}
+	uneven := ServeConfig{Models: []ServedModel{
+		{Name: "a", Rows: 64, Cols: 32},
+		{Name: "b", Rows: 64, Cols: 32},
+		{Name: "c", Rows: 64, Cols: 32},
+	}}
+	if _, err := cfg.NewServer(uneven); err == nil {
+		t.Error("4 channels over 3 models should need explicit partitions")
+	}
+	neg := ServeConfig{Models: []ServedModel{{Name: "a", Rows: 64, Cols: 32, Channels: -1}}}
+	if _, err := cfg.NewServer(neg); err == nil {
+		t.Error("negative partition accepted")
+	}
+	short := ServeConfig{Models: []ServedModel{{Name: "a", Rows: 64, Cols: 32, Channels: 3}}}
+	if _, err := cfg.NewServer(short); err == nil {
+		t.Error("partition not covering the device accepted")
+	}
+}
+
+// TestServerShardingDeterministic drives the public API end to end:
+// two tenants on disjoint channel partitions, a seeded Poisson stream,
+// and exact reproducibility of the published numbers.
+func TestServerShardingDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	sc := ServeConfig{
+		Models: []ServedModel{
+			{Name: "DLRM-s1", Rows: 512, Cols: 256, Channels: 2, Weight: 3},
+			{Name: "tiny", Rows: 128, Cols: 64, Channels: 2, Weight: 1},
+		},
+		Options: ServeOptions{MaxBatch: 2, MaxWait: 2000, QueueDepth: 128},
+		Seed:    42,
+	}
+	srv, err := cfg.NewServer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.ServePoisson(3000, 5e5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(res.Shards))
+	}
+	for _, sh := range res.Shards {
+		if sh.Backend != "newton" || sh.Metrics.Served == 0 {
+			t.Errorf("shard %s backend %s served %d", sh.Name, sh.Backend, sh.Metrics.Served)
+		}
+	}
+	if res.Total.Served+res.Total.Shed != 3000 {
+		t.Errorf("served %d + shed %d != 3000", res.Total.Served, res.Total.Shed)
+	}
+	// Exact reproducibility through a fresh server (re-calibrated) and
+	// the same seeds.
+	srv2, err := cfg.NewServer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := srv2.ServePoisson(3000, 5e5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Latency.P99() != res2.Total.Latency.P99() {
+		t.Errorf("p99 not reproducible: %v vs %v", res.Total.Latency.P99(), res2.Total.Latency.P99())
+	}
+	if res.Total.Throughput() != res2.Total.Throughput() {
+		t.Errorf("throughput not reproducible: %v vs %v", res.Total.Throughput(), res2.Total.Throughput())
+	}
+}
+
+// TestServerGPUAndIdealBackends checks the alternative fleet kinds.
+func TestServerGPUAndIdealBackends(t *testing.T) {
+	cfg := smallCfg()
+	models := []ServedModel{{Name: "DLRM-s1", Rows: 512, Cols: 256}}
+	reqs := PoissonRequests(500, 1e6, nil, 7)
+
+	gpuSrv, err := cfg.NewServer(ServeConfig{Models: models, Backend: ServeGPU,
+		Options: ServeOptions{MaxBatch: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := gpuSrv.Replay(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Shards[0].Backend != "titan-v" || gres.Total.Served != 500 {
+		t.Errorf("gpu fleet: backend %s served %d", gres.Shards[0].Backend, gres.Total.Served)
+	}
+	if gres.Total.MeanBatch() <= 1 {
+		t.Errorf("saturating load should batch on the GPU, mean batch %v", gres.Total.MeanBatch())
+	}
+
+	idealSrv, err := cfg.NewServer(ServeConfig{Models: models, Backend: ServeIdeal, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := idealSrv.Replay(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ires.Shards[0].Backend != "ideal" || ires.Total.Served != 500 {
+		t.Errorf("ideal fleet: backend %s served %d", ires.Shards[0].Backend, ires.Total.Served)
+	}
+	if ServeGPU.String() != "gpu" || ServeIdeal.String() != "ideal" || ServeNewton.String() != "newton" {
+		t.Error("backend kind names wrong")
+	}
+}
+
+func TestServeTraceHelpers(t *testing.T) {
+	reqs := []ServeRequest{{T: 10, Model: 0}, {T: 20, Model: 0}}
+	var sb strings.Builder
+	if err := FormatServeTrace(&sb, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseServeTrace(strings.NewReader(sb.String()))
+	if err != nil || !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+}
