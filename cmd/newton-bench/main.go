@@ -1,17 +1,23 @@
 // Command newton-bench regenerates the paper's evaluation figures
-// (Figs. 8-13) and the model-validation and layout studies, printing
-// each as a text table.
+// (Figs. 8-13) and the model-validation, layout, serving and fault
+// studies, printing each as a text table.
 //
 // Usage:
 //
-//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|all] [-channels N] [-banks N] [-functional]
+//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|serving|fault|all] [-channels N] [-banks N] [-functional]
+//
+// With -json DIR, runners that have a machine-readable form (serving,
+// fault) also write BENCH_<name>.json files into DIR, so the
+// perf/reliability trajectory can be tracked across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"newton/internal/experiments"
@@ -20,13 +26,31 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, fault, or all")
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
 	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
+	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, fault)")
 	flag.Parse()
 	csv := *format == "csv"
+
+	// writeJSON persists a runner's typed rows for cross-run tracking.
+	writeJSON := func(name string, v any) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
 
 	cfg := experiments.Default()
 	cfg.Channels = *channels
@@ -153,11 +177,35 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if err := writeJSON("serving", struct {
+			Points  []experiments.ServingPoint
+			Summary experiments.ServingSummary
+		}{points, sum}); err != nil {
+			return err
+		}
 		if csv {
 			fmt.Print(experiments.CSVServing(points))
 			return nil
 		}
 		fmt.Println(experiments.RenderServing(points, sum))
+		return nil
+	})
+	run("fault", func() error {
+		points, sum, err := cfg.FaultCampaign()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("fault", struct {
+			Points  []experiments.FaultPoint
+			Summary experiments.FaultSummary
+		}{points, sum}); err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVFault(points))
+			return nil
+		}
+		fmt.Println(experiments.RenderFault(points, sum))
 		return nil
 	})
 	run("families", func() error {

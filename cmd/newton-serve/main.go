@@ -229,15 +229,35 @@ func single(srv *newton.Server, streams []stream, hist bool) {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s: %s\n", s.label, res.Total.Summary())
-		if len(res.Shards) > 1 {
+		if showShards(res) {
 			for _, sh := range res.Shards {
-				fmt.Printf("  %-20s %s\n", sh.Name, sh.Metrics.Summary())
+				fmt.Printf("  %-20s %s  shed %d  retried %d",
+					sh.Name, sh.Metrics.Summary(), sh.Metrics.Shed, sh.Metrics.Retried)
+				if sh.Health != newton.ShardHealthy {
+					fmt.Printf("  [%s]", sh.Health)
+				}
+				fmt.Println()
 			}
 		}
 		if hist {
 			printHist(&res.Total.Latency)
 		}
 	}
+}
+
+// showShards decides whether the per-shard breakdown adds information:
+// multiple shards, or a single shard with something to report (shed or
+// retried work, or a non-healthy state).
+func showShards(res *newton.ServeResult) bool {
+	if len(res.Shards) > 1 {
+		return true
+	}
+	for _, sh := range res.Shards {
+		if sh.Metrics.Shed > 0 || sh.Metrics.Retried > 0 || sh.Health != newton.ShardHealthy {
+			return true
+		}
+	}
+	return false
 }
 
 // printHist renders the latency distribution as log-spaced bars.

@@ -1,0 +1,140 @@
+package bf16
+
+import (
+	"math"
+	"testing"
+)
+
+// quietBit is the mantissa MSB FromFloat32 forces on NaNs.
+const quietBit = 0x0040
+
+// FuzzRoundTrip checks that widening to float32 and re-rounding is the
+// identity on every non-NaN bit pattern (every bfloat16 is exactly
+// representable in float32), and that NaNs come back quiet with sign
+// and payload preserved. The ECC codec and fault injector treat weight
+// rows as raw bf16 bit patterns, so this identity is what makes
+// bit-level corruption observable at all.
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range []uint16{
+		0x0000, 0x8000, 0x3F80, 0x0001, 0x807F, // zeros, one, subnormals
+		0x7F7F, 0xFF7F, 0x7F80, 0xFF80, // max finite, infinities
+		0x7FC0, 0x7F81, 0xFFFF, // NaNs
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, bits uint16) {
+		n := FromBits(bits)
+		got := FromFloat32(n.Float32())
+		if n.IsNaN() {
+			if !got.IsNaN() {
+				t.Fatalf("NaN %#04x round-tripped to non-NaN %#04x", bits, got.Bits())
+			}
+			if got != n|quietBit {
+				t.Fatalf("NaN %#04x round-tripped to %#04x, want sign+payload preserved and quieted", bits, got.Bits())
+			}
+			return
+		}
+		if got != n {
+			t.Fatalf("%#04x -> %v -> %#04x", bits, n.Float32(), got.Bits())
+		}
+		if n.Float64() != float64(n.Float32()) {
+			t.Fatalf("%#04x: Float64 %v disagrees with Float32 %v", bits, n.Float64(), n.Float32())
+		}
+	})
+}
+
+// FuzzFromFloat32 checks the converter against first principles: for
+// every float32, the result must be one of the two bracketing bfloat16
+// values, the nearer one, with ties broken to the even mantissa — and
+// NaN/Inf must stay closed.
+func FuzzFromFloat32(f *testing.F) {
+	for _, s := range []uint32{
+		0, 0x80000000, 0x3F800000, 0x7F800000, 0xFF800000, 0x7FC00000,
+		0x3F808000, 0x3F818000, 0x7F7FFFFF, 0x00008000, 0x33800000,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		got := FromFloat32(v)
+		if v != v {
+			if !got.IsNaN() || got&quietBit == 0 {
+				t.Fatalf("NaN %#08x converted to %#04x, want a quiet NaN", bits, got.Bits())
+			}
+			return
+		}
+		if math.IsInf(float64(v), 1) || math.IsInf(float64(v), -1) {
+			want := PosInf
+			if v < 0 {
+				want = NegInf
+			}
+			if got != want {
+				t.Fatalf("Inf %v converted to %#04x", v, got.Bits())
+			}
+			return
+		}
+		// The truncation toward zero and its magnitude successor bracket
+		// v; the successor may be the infinity of v's sign.
+		lo := FromBits(uint16(bits >> 16))
+		hi := FromBits(uint16(bits>>16) + 1)
+		v64 := float64(v)
+		hi64 := hi.Float64()
+		if hi.IsInf(0) {
+			// Virtual value for the overflow threshold: one max-finite
+			// ULP (2^120) past the largest finite bfloat16.
+			hi64 = math.Copysign(FromBits(0x7F7F).Float64()+0x1p120, v64)
+		}
+		dlo, dhi := math.Abs(v64-lo.Float64()), math.Abs(hi64-v64)
+		want := lo
+		switch {
+		case dhi < dlo:
+			want = hi
+		case dhi == dlo && lo&1 != 0:
+			want = hi
+		}
+		if got != want {
+			t.Fatalf("%v (%#08x): got %#04x, want %#04x (lo %#04x d=%g, hi %#04x d=%g)",
+				v, bits, got.Bits(), want.Bits(), lo.Bits(), dlo, hi.Bits(), dhi)
+		}
+	})
+}
+
+// FuzzFMA pins the MAC semantics the simulator's datapath depends on:
+// FMA is the float32 expression with one final rounding, commutative
+// in its multiplicands, consistent with Mul when the addend vanishes,
+// and closed over NaN/Inf.
+func FuzzFMA(f *testing.F) {
+	f.Add(uint16(0x3F80), uint16(0x3F80), uint16(0x3F80))
+	f.Add(uint16(0x7F80), uint16(0x0000), uint16(0x3F80)) // Inf*0: NaN
+	f.Add(uint16(0x7F80), uint16(0x3F80), uint16(0xFF80)) // Inf-Inf: NaN
+	f.Add(uint16(0x7F7F), uint16(0x7F7F), uint16(0x0000)) // overflow
+	f.Add(uint16(0x0001), uint16(0x0001), uint16(0x8000)) // underflow
+	f.Fuzz(func(t *testing.T, ab, bb, cb uint16) {
+		a, b, c := FromBits(ab), FromBits(bb), FromBits(cb)
+		got := FMA(a, b, c)
+		// The reference: widen to float32 (exact), multiply (exact in
+		// float32: two 8-bit mantissas), add, round once. Which NaN
+		// payload an expression propagates is not pinned down by IEEE
+		// (or Go), so NaN results compare by class, not by bits.
+		want := FromFloat32(a.Float32()*b.Float32() + c.Float32())
+		same := func(x, y Num) bool { return x == y || (x.IsNaN() && y.IsNaN()) }
+		if !same(got, want) {
+			t.Fatalf("FMA(%#04x,%#04x,%#04x) = %#04x, want %#04x", ab, bb, cb, got.Bits(), want.Bits())
+		}
+		if sym := FMA(b, a, c); !same(sym, got) {
+			t.Fatalf("FMA not commutative in multiplicands: %#04x vs %#04x", got.Bits(), sym.Bits())
+		}
+		if mul := Mul(a, b); !same(FMA(a, b, Zero), mul) && !mul.IsZero() {
+			// (a*b)+0 only differs from a*b for signed zeros.
+			t.Fatalf("FMA(a,b,0) = %#04x, Mul = %#04x", FMA(a, b, Zero).Bits(), mul.Bits())
+		}
+		if a.IsNaN() || b.IsNaN() || c.IsNaN() {
+			if !got.IsNaN() {
+				t.Fatalf("NaN input produced non-NaN %#04x", got.Bits())
+			}
+		}
+		if got.IsNaN() && got&quietBit == 0 {
+			t.Fatalf("FMA produced a signaling NaN pattern %#04x", got.Bits())
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // BankState is the coarse state of a bank's row buffer.
 type BankState uint8
@@ -175,3 +178,27 @@ func (b *Bank) PeekRow(row int) ([]byte, error) {
 // StoredRows returns how many distinct rows hold data, for capacity
 // accounting in tests.
 func (b *Bank) StoredRows() int { return len(b.rows) }
+
+// StoredRowIDs returns the row numbers that hold data, ascending, so
+// callers that walk the stored state (fault injection, audits) visit
+// rows in a deterministic order regardless of map iteration.
+func (b *Bank) StoredRowIDs() []int {
+	ids := make([]int, 0, len(b.rows))
+	for r := range b.rows {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// MutateRow exposes a row's backing storage to fn for in-place
+// modification, bypassing timing: the back door fault models use to
+// flip stored bits (a DRAM cell upset has no command-bus signature).
+// The row is allocated zeroed on first touch, like every other access.
+func (b *Bank) MutateRow(row int, fn func(data []byte)) error {
+	if row < 0 || row >= b.geo.Rows {
+		return fmt.Errorf("dram: row %d out of range [0,%d)", row, b.geo.Rows)
+	}
+	fn(b.row(row))
+	return nil
+}

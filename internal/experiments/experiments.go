@@ -33,8 +33,14 @@ type Config struct {
 	// tests use a reduced set to stay fast.
 	Benchmarks []workloads.Bench
 	// ServingN overrides the serving study's arrivals per load
-	// (0 = 20000); tests use a shorter stream.
+	// (0 = 20000); tests use a shorter stream. The fault campaign's
+	// availability streams reuse it (0 = 2000 there).
 	ServingN int
+	// FaultBERs overrides the fault campaign's BER sweep (nil = the
+	// package FaultBERs); FaultMaxPerWord caps injected flips per
+	// 64-bit word (0 = uncapped).
+	FaultBERs       []float64
+	FaultMaxPerWord int
 }
 
 // Default returns the paper's evaluation configuration.

@@ -1,0 +1,148 @@
+package host
+
+import (
+	"testing"
+
+	"newton/internal/dram"
+	"newton/internal/fault"
+	"newton/internal/layout"
+)
+
+// eccSystem builds a controller with a placed matrix and its SEC-DED
+// store, returning the channels for direct fault injection.
+func eccSystem(t *testing.T) (*Controller, *layout.Placement, *fault.Store, []*dram.Channel) {
+	t.Helper()
+	c, err := NewController(testCfg(), Newton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := layout.RandomMatrix(64, 512, 5)
+	p, err := c.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels := make([]*dram.Channel, testCfg().Geometry.Channels)
+	for i := range channels {
+		channels[i] = c.Engine(i).Channel()
+	}
+	store, err := fault.NewStore(p, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p, store, channels
+}
+
+func TestScrubECCCleanPassIsReadOnly(t *testing.T) {
+	c, p, store, channels := eccSystem(t)
+	rep, err := c.ScrubECC(p, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WordsChecked == 0 || rep.Cycles <= 0 {
+		t.Fatalf("empty pass: %+v", rep)
+	}
+	if rep.Corrected != 0 || rep.Detected != 0 || rep.ColumnsRewritten != 0 {
+		t.Fatalf("clean memory produced repairs: %+v", rep)
+	}
+	audit, err := fault.Audit(p, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.BadWords != 0 {
+		t.Fatalf("audit dirty after read-only scrub: %+v", audit)
+	}
+}
+
+// Single-bit-per-word faults are all corrected in place: the acceptance
+// path behind the zero-SDC campaign guarantee.
+func TestScrubECCCorrectsSingleBitFlips(t *testing.T) {
+	c, p, store, channels := eccSystem(t)
+	inj := fault.NewInjector(fault.Params{Seed: 11, BER: 1e-4, MaxPerWord: 1})
+	injRep, err := inj.Expose(p, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injRep.FlippedBits == 0 {
+		t.Fatal("injection flipped nothing; test is vacuous")
+	}
+	rep, err := c.ScrubECC(p, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrected != injRep.FlippedBits {
+		t.Fatalf("corrected %d of %d injected flips", rep.Corrected, injRep.FlippedBits)
+	}
+	if rep.Detected != 0 {
+		t.Fatalf("single-bit faults reported uncorrectable: %+v", rep)
+	}
+	if rep.ColumnsRewritten == 0 {
+		t.Fatal("corrections happened but no column was rewritten")
+	}
+	audit, err := fault.Audit(p, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.BadWords != 0 {
+		t.Fatalf("silent corruption survived a correctable campaign: %+v", audit)
+	}
+	// The computation is exact again.
+	v := randomVector(512, 3)
+	res, err := c.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DatapathReference(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, res.Output, want, "post-scrub MVM")
+}
+
+// Double-bit words exceed SEC-DED's correction power: they must be
+// detected and refetched from the golden copy, not miscorrected.
+func TestScrubECCRefetchesDetectedWords(t *testing.T) {
+	c, p, store, channels := eccSystem(t)
+	// Flip two bits of one word in a known live row.
+	if err := channels[0].Bank(0).MutateRow(p.BaseRow(), func(d []byte) {
+		d[0] ^= 0x01
+		d[3] ^= 0x80
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ScrubECC(p, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != 1 || rep.Refetched != 1 {
+		t.Fatalf("want 1 detected+refetched word, got %+v", rep)
+	}
+	if rep.Corrected != 0 {
+		t.Fatalf("double-bit error was miscounted as corrected: %+v", rep)
+	}
+	audit, err := fault.Audit(p, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.BadWords != 0 {
+		t.Fatalf("refetch left corruption behind: %+v", audit)
+	}
+}
+
+// ScrubECC costs simulated time and pays the refresh schedule like any
+// other controller operation.
+func TestScrubECCAdvancesClockAndRefreshes(t *testing.T) {
+	c, p, store, _ := eccSystem(t)
+	// Push the clock near a refresh deadline so the scrub must pay one.
+	c.Advance(c.cfg.Timing.TREFI - 10)
+	before := c.Stats().Refreshes
+	rep, err := c.ScrubECC(p, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles <= 0 {
+		t.Fatalf("scrub took %d cycles", rep.Cycles)
+	}
+	if c.Stats().Refreshes == before {
+		t.Fatal("scrub crossed a tREFI boundary without refreshing")
+	}
+}

@@ -50,6 +50,19 @@ func DefaultEvents() EventCoefficients {
 	}
 }
 
+// CompStress returns how much harder a ganged COMP drives the supply
+// than a conventional column read: banks simultaneous CompCol accesses
+// against one ReadCol. With the default coefficients and 16 banks this
+// is ~4.7x, in line with the paper's ~4x COMP-stream power ratio. The
+// fault subsystem uses it to scale transient (supply-noise) bit-error
+// rates during compute activity windows.
+func CompStress(c EventCoefficients, banks int) float64 {
+	if c.ReadCol <= 0 || banks <= 0 {
+		return 1
+	}
+	return c.CompCol * float64(banks) / c.ReadCol
+}
+
 // BottomUp evaluates a run by pricing its command counts.
 func BottomUp(c EventCoefficients, cfg dram.Config, res *host.Result) Report {
 	if res.Cycles <= 0 {

@@ -155,12 +155,15 @@ type Metrics struct {
 	Service Histogram
 
 	// Arrived counts offered requests; Served completed ones; Shed the
-	// requests dropped by admission control (Arrived = Served + Shed
-	// once the stream drains).
+	// requests dropped — by admission control, by retry exhaustion, or
+	// by shard failure (Arrived = Served + Shed once the stream drains).
 	Arrived, Served, Shed int64
 	// Launches counts batch launches; Served/Launches is the achieved
 	// mean batch size.
 	Launches int64
+	// Retried counts launch re-executions after a detected result-
+	// validation failure (reliability.go).
+	Retried int64
 
 	// FirstArrival and LastCompletion bound the run in virtual
 	// nanoseconds.
@@ -207,6 +210,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Served += o.Served
 	m.Shed += o.Shed
 	m.Launches += o.Launches
+	m.Retried += o.Retried
 	if m.FirstArrival == 0 && m.LastCompletion == 0 {
 		m.FirstArrival, m.LastCompletion = o.FirstArrival, o.LastCompletion
 		return
@@ -224,6 +228,9 @@ func (m *Metrics) Summary() string {
 		m.Served, m.Arrived, 100*m.ShedFraction(),
 		FormatNs(m.Latency.P50()), FormatNs(m.Latency.P95()), FormatNs(m.Latency.P99()),
 		m.MeanBatch(), m.Throughput())
+	if m.Retried > 0 {
+		fmt.Fprintf(&sb, "  retried %d", m.Retried)
+	}
 	return sb.String()
 }
 

@@ -1,0 +1,105 @@
+package serve
+
+// Reliability: the serving layer's view of the fault subsystem. A
+// Newton shard's READRES stream bypasses controller ECC (paper §III-E),
+// so a production fleet validates results host-side (checksums over the
+// result latches) and re-executes launches that fail validation. This
+// file models that loop — detection, bounded retry, degradation, and
+// whole-shard failure with failover — in the same deterministic
+// virtual-time simulation as the rest of the package.
+
+import "fmt"
+
+// FaultPlan injects result-validation failures into one shard. The
+// zero value (or a nil plan) is a perfectly healthy shard.
+type FaultPlan struct {
+	// Seed drives the shard's validation-failure draws. Each launch
+	// attempt consumes one draw, in launch order, so a (plan, stream)
+	// pair replays identically.
+	Seed int64
+	// DetectedPerLaunch is the probability that a launch attempt's
+	// READRES validation detects a corrupted result, forcing a retry.
+	DetectedPerLaunch float64
+	// MaxRetries bounds re-executions per launch. A launch that is
+	// still failing after MaxRetries re-runs sheds its whole batch
+	// (the requests count in Metrics.Shed).
+	MaxRetries int
+	// DegradeAfter moves the shard to Degraded health after this many
+	// detected validation failures (0 = never degrade): the operational
+	// signal that a partition needs scrubbing or replacement.
+	DegradeAfter int64
+	// DegradedPenalty multiplies service times while Degraded (a shard
+	// whose controller interleaves recovery scrubs with serving runs
+	// slower). Values <= 1 mean no penalty.
+	DegradedPenalty float64
+	// FailAt kills the shard at this virtual time (0 = never): launches
+	// at or after FailAt do not happen, queued and still-arriving
+	// requests are shed, and requests arriving at or after FailAt are
+	// rerouted at partition time when the shard names a FailoverTo.
+	FailAt float64
+}
+
+// penalty returns the effective degraded service-time multiplier.
+func (f *FaultPlan) penalty() float64 {
+	if f == nil || f.DegradedPenalty <= 1 {
+		return 1
+	}
+	return f.DegradedPenalty
+}
+
+// Health is a shard's state after a run, in increasing order of damage.
+type Health int
+
+const (
+	// Healthy means the shard served its whole stream normally.
+	Healthy Health = iota
+	// Degraded means detected validation failures crossed the plan's
+	// DegradeAfter threshold; the shard kept serving, slower.
+	Degraded
+	// Failed means the shard died mid-run (FaultPlan.FailAt); its
+	// unserved requests were shed or failed over.
+	Failed
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Health(%d)", int(h))
+}
+
+// resolveFailover maps each shard's FailoverTo name to a shard index
+// (-1 = no failover). Failover must name another existing shard; the
+// target must be able to serve the rerouted models, which the caller
+// guarantees by construction (replica shards serve the same model set).
+func resolveFailover(shards []Shard) ([]int, error) {
+	byName := make(map[string]int, len(shards))
+	for i, sh := range shards {
+		byName[sh.Name] = i
+	}
+	out := make([]int, len(shards))
+	for i, sh := range shards {
+		out[i] = -1
+		if sh.FailoverTo == "" {
+			continue
+		}
+		ti, ok := byName[sh.FailoverTo]
+		if !ok {
+			return nil, fmt.Errorf("serve: shard %q fails over to unknown shard %q", sh.Name, sh.FailoverTo)
+		}
+		if ti == i {
+			return nil, fmt.Errorf("serve: shard %q fails over to itself", sh.Name)
+		}
+		if sh.Fault == nil || sh.Fault.FailAt <= 0 {
+			return nil, fmt.Errorf("serve: shard %q has FailoverTo but no FaultPlan.FailAt", sh.Name)
+		}
+		out[i] = ti
+	}
+	return out, nil
+}

@@ -26,6 +26,7 @@ package serve
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 )
 
@@ -44,12 +45,23 @@ type Shard struct {
 	// run's), letting a latency shard run unbatched next to a
 	// throughput shard that batches aggressively.
 	Opt *Options
+	// Fault injects result-validation failures, degradation, and
+	// whole-shard death into this shard (nil = perfectly reliable).
+	Fault *FaultPlan
+	// FailoverTo names the shard that takes over this shard's traffic
+	// arriving at or after Fault.FailAt. Requests are rerouted when the
+	// stream is partitioned, keeping every worker share-nothing; the
+	// target must be able to serve this shard's models (a replica).
+	FailoverTo string
 }
 
 // ShardResult is one shard's outcome.
 type ShardResult struct {
 	Name    string
 	Backend string
+	// Health is the shard's state after the run: healthy, degraded
+	// (validation failures crossed the plan threshold), or failed.
+	Health  Health
 	Metrics Metrics
 }
 
@@ -82,7 +94,15 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 		}
 	}
 
-	// Partition the stream, preserving arrival order per shard.
+	failover, err := resolveFailover(shards)
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition the stream, preserving arrival order per shard. Failover
+	// redistribution happens here: a request for a dead shard (arriving
+	// at or after its FailAt) goes to the failover target instead, so
+	// every worker still owns its sub-stream outright.
 	ordered := append([]Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].T < ordered[j].T })
 	streams := make([][]Request, len(shards))
@@ -94,14 +114,21 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("serve: request for model %d, which no shard serves", r.Model)
 		}
+		// Hop count bounds failover chains (A -> B -> C); a cycle of
+		// all-dead shards leaves the request on the last one, which
+		// sheds it.
+		for hops := 0; hops < len(shards) && failover[si] >= 0 && r.T >= shards[si].Fault.FailAt; hops++ {
+			si = failover[si]
+		}
 		streams[si] = append(streams[si], r)
 	}
 
 	// One worker goroutine per shard; a channel funnels results to the
 	// collector below. Workers share nothing but the channel.
 	type done struct {
-		idx int
-		m   Metrics
+		idx    int
+		m      Metrics
+		health Health
 	}
 	ch := make(chan done)
 	for si := range shards {
@@ -110,8 +137,13 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 			o = *shards[si].Opt
 		}
 		go func(idx int, sh Shard, stream []Request, o Options) {
-			sim := shardSim{backend: sh.Backend, opt: o, arr: stream}
-			ch <- done{idx: idx, m: sim.run()}
+			sim := shardSim{backend: sh.Backend, opt: o, arr: stream, plan: sh.Fault}
+			if sh.Fault != nil {
+				// Each shard draws from its own stream, seeded by plan
+				// and shard position, so fleets replay identically.
+				sim.rng = rand.New(rand.NewSource(sh.Fault.Seed + int64(idx)))
+			}
+			ch <- done{idx: idx, m: sim.run(), health: sim.health}
 		}(si, shards[si], streams[si], o)
 	}
 
@@ -121,6 +153,7 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 		res.Shards[d.idx] = ShardResult{
 			Name:    shards[d.idx].Name,
 			Backend: shards[d.idx].Backend.Name(),
+			Health:  d.health,
 			Metrics: d.m,
 		}
 	}

@@ -1,6 +1,9 @@
 package serve
 
-import "math"
+import (
+	"math"
+	"math/rand"
+)
 
 // ShedPolicy selects what admission control drops when the bounded
 // queue is full.
@@ -66,6 +69,15 @@ type shardSim struct {
 	backend Backend
 	opt     Options
 
+	// plan and rng drive the reliability model (reliability.go); both
+	// nil for a healthy shard.
+	plan *FaultPlan
+	rng  *rand.Rand
+	// detected counts validation failures so far (the degradation
+	// trigger); health is the shard's final state.
+	detected int64
+	health   Health
+
 	arr   []Request
 	queue []int // indices into arr: admitted, waiting
 	free  float64
@@ -104,13 +116,35 @@ func (s *shardSim) run() Metrics {
 			i++
 			continue
 		}
+		if s.plan != nil && s.plan.FailAt > 0 && launchAt >= s.plan.FailAt {
+			s.fail(i)
+			break
+		}
 		clock = launchAt
 		s.launch(model, maxBatch, launchAt)
 	}
 	if math.IsInf(s.m.FirstArrival, 1) {
 		s.m.FirstArrival = 0
 	}
+	if s.health == Healthy && s.plan != nil && s.plan.DegradeAfter > 0 && s.detected >= s.plan.DegradeAfter {
+		s.health = Degraded
+	}
 	return s.m
+}
+
+// fail kills the shard at its FailAt boundary: everything queued and
+// every remaining arrival (requests that were not failed over) is shed.
+func (s *shardSim) fail(next int) {
+	s.health = Failed
+	s.m.Shed += int64(len(s.queue))
+	s.queue = s.queue[:0]
+	for ; next < len(s.arr); next++ {
+		s.m.Arrived++
+		s.m.Shed++
+		if t := s.arr[next].T; t < s.m.FirstArrival {
+			s.m.FirstArrival = t
+		}
+	}
 }
 
 // admit applies admission control to arrival index idx.
@@ -155,13 +189,39 @@ func (s *shardSim) launch(model, maxBatch int, at float64) {
 	}
 	s.queue = rest
 
-	done := at + s.backend.ServiceCycles(model, len(members))
+	service := s.backend.ServiceCycles(model, len(members))
+	if s.plan != nil && s.plan.DegradeAfter > 0 && s.detected >= s.plan.DegradeAfter {
+		service *= s.plan.penalty()
+	}
+
+	// READRES validation: each attempt may be detected-bad and re-run,
+	// up to MaxRetries re-executions; a launch still failing after that
+	// sheds its whole batch. The device is busy for every attempt either
+	// way — failed work still occupies the channel partition.
+	attempts, ok := 1, true
+	if s.plan != nil && s.plan.DetectedPerLaunch > 0 {
+		for s.rng.Float64() < s.plan.DetectedPerLaunch {
+			s.detected++
+			if attempts > s.plan.MaxRetries {
+				ok = false
+				break
+			}
+			attempts++
+			s.m.Retried++
+		}
+	}
+
+	done := at + float64(attempts)*service
 	s.free = done
 	s.m.Launches++
-	s.m.Served += int64(len(members))
 	if done > s.m.LastCompletion {
 		s.m.LastCompletion = done
 	}
+	if !ok {
+		s.m.Shed += int64(len(members))
+		return
+	}
+	s.m.Served += int64(len(members))
 	for _, idx := range members {
 		t := s.arr[idx].T
 		s.m.QueueWait.Record(at - t)

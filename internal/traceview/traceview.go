@@ -45,7 +45,7 @@ var laneSymbols = map[dram.Kind]byte{
 func Legend() string {
 	return "row bus: A=ACT G=G_ACT P=PRE/PREA F=REF | " +
 		"col bus: C=COMP c=COMP_BK W=GWRITE B=BCAST L=COLRD M=MAC R=READRES r=RD w=WR | " +
-		"banks: #=row open .=idle"
+		"banks: #=row open F=refresh r/w=scrub read/write .=idle"
 }
 
 // Render draws the trace window. The trace must be cycle-sorted.
@@ -90,6 +90,8 @@ func Render(cfg dram.Config, trace []traceio.TimedCommand, opts Options) (string
 	lastChange := make([]int64, banks) // cycle of the last open/close
 
 	// fill paints a bank's state from its last change up to `until`.
+	// Occupancy only lands on blank cells, so event marks (refresh,
+	// scrub reads/writes) stay visible inside an open-row span.
 	fill := func(b int, until int64) {
 		lo, hi := lastChange[b], until
 		if lo < from {
@@ -99,13 +101,13 @@ func Render(cfg dram.Config, trace []traceio.TimedCommand, opts Options) (string
 			hi = to
 		}
 		for cy := lo; cy < hi; cy += span/int64(opts.Width) + 1 {
-			if c := col(cy); c >= 0 && open[b] {
+			if c := col(cy); c >= 0 && open[b] && bankLanes[b][c] == '.' {
 				bankLanes[b][c] = '#'
 			}
 		}
 		// Ensure the end column is painted too.
 		if open[b] && hi > lo {
-			if c := col(hi - 1); c >= 0 {
+			if c := col(hi - 1); c >= 0 && bankLanes[b][c] == '.' {
 				bankLanes[b][c] = '#'
 			}
 		}
@@ -146,9 +148,25 @@ func Render(cfg dram.Config, trace []traceio.TimedCommand, opts Options) (string
 			if tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
 				setOpen(tc.Cmd.Bank, tc.Cycle, false)
 			}
-		case dram.KindPREA, dram.KindREF:
+		case dram.KindPREA:
 			for b := 0; b < banks; b++ {
 				setOpen(b, tc.Cycle, false)
+			}
+		case dram.KindREF:
+			// Refresh owns every bank: close them and mark the event in
+			// each lane, so refresh windows stand out from open-row time.
+			for b := 0; b < banks; b++ {
+				setOpen(b, tc.Cycle, false)
+				if c := col(tc.Cycle); c >= 0 {
+					bankLanes[b][c] = 'F'
+				}
+			}
+		case dram.KindRD, dram.KindWR:
+			// Conventional column reads/writes are scrub traffic in an
+			// AiM trace (the MVM path uses COMP/READRES): mark the
+			// target bank's lane so scrub passes are visually distinct.
+			if c := col(tc.Cycle); c >= 0 && tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
+				bankLanes[tc.Cmd.Bank][c] = sym
 			}
 		}
 	}

@@ -95,3 +95,41 @@ func TestRenderEmptyAndDefaults(t *testing.T) {
 		t.Error("invalid config accepted")
 	}
 }
+
+// TestRenderScrubGolden pins the exact rendering of a scrub-plus-
+// refresh window: conventional RD/WR marks inside the target bank's
+// open-row span, and the REF event painted across every bank lane.
+// Fault/scrub experiments are debugged against this picture, so the
+// output format is load-bearing.
+func TestRenderScrubGolden(t *testing.T) {
+	g := dram.HBM2EGeometry(1)
+	g.Rows = 64
+	g.Banks = 4
+	g.BanksPerCluster = 4
+	cfg := dram.Config{Geometry: g, Timing: dram.AiMTiming()}
+	trace := []traceio.TimedCommand{
+		{Cycle: 0, Cmd: dram.Command{Kind: dram.KindACT, Bank: 0, Row: 3}},
+		{Cycle: 10, Cmd: dram.Command{Kind: dram.KindRD, Bank: 0, Col: 0}},
+		{Cycle: 20, Cmd: dram.Command{Kind: dram.KindWR, Bank: 0, Col: 0}},
+		{Cycle: 30, Cmd: dram.Command{Kind: dram.KindPRE, Bank: 0, Row: 3}},
+		{Cycle: 40, Cmd: dram.Command{Kind: dram.KindREF}},
+		{Cycle: 60, Cmd: dram.Command{Kind: dram.KindACT, Bank: 1, Row: 7}},
+		{Cycle: 70, Cmd: dram.Command{Kind: dram.KindRD, Bank: 1, Col: 1}},
+		{Cycle: 80, Cmd: dram.Command{Kind: dram.KindPRE, Bank: 1, Row: 7}},
+	}
+	out, err := Render(cfg, trace, Options{From: 0, To: 100, Width: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "cycles 0..100, 2 per column\n" +
+		"row bus  A..............P....F.........A.........P.........\n" +
+		"col bus  .....r....w........................r..............\n" +
+		"bank 0   ##.##r##.#w.###.....F.............................\n" +
+		"bank 1   ....................F.........##.##r##.#..........\n" +
+		"bank 2   ....................F.............................\n" +
+		"bank 3   ....................F.............................\n" +
+		Legend() + "\n"
+	if out != want {
+		t.Errorf("scrub render drifted from golden:\n--- got\n%s--- want\n%s", out, want)
+	}
+}

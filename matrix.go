@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"newton/internal/bf16"
+	"newton/internal/fault"
 	"newton/internal/host"
 	"newton/internal/layout"
 )
@@ -54,6 +55,9 @@ func (m *Matrix) MulVecReference(v []float32) ([]float32, error) {
 type PlacedMatrix struct {
 	mat *Matrix
 	p   *layout.Placement
+	// ecc is the host-side SEC-DED check store, present when the system
+	// was configured with Fault.ECC (encode-on-place, check-on-scrub).
+	ecc *fault.Store
 }
 
 // Matrix returns the placed matrix.
@@ -67,7 +71,13 @@ func (s *System) Load(m *Matrix) (*PlacedMatrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PlacedMatrix{mat: m, p: p}, nil
+	pm := &PlacedMatrix{mat: m, p: p}
+	if s.cfg.Fault.Enabled && s.cfg.Fault.ECC {
+		if pm.ecc, err = fault.NewStore(p, s.channels()); err != nil {
+			return nil, err
+		}
+	}
+	return pm, nil
 }
 
 // MatVec executes one matrix-vector product on the system and returns
@@ -79,6 +89,9 @@ func (s *System) MatVec(pm *PlacedMatrix, v []float32) ([]float32, RunStats, err
 	}
 	res, err := s.ctrl.RunMVM(pm.p, bf16.FromFloat32Slice(v))
 	if err != nil {
+		return nil, RunStats{}, err
+	}
+	if _, err := s.ScrubPeriodically(pm); err != nil {
 		return nil, RunStats{}, err
 	}
 	return res.Output, statsFromResult(res), nil

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"newton/internal/dram"
+	"newton/internal/fault"
 	"newton/internal/host"
 	"newton/internal/model"
 )
@@ -85,6 +86,9 @@ type Config struct {
 	// the §III-C intermediate design point the paper evaluated and
 	// rejected; QuadLatchConfig builds it.
 	LatchesPerBank int
+	// Fault configures the fault-injection and reliability subsystem
+	// (fault.go). The zero value disables it entirely.
+	Fault FaultConfig
 }
 
 // QuadLatchConfig returns the §III-C quad-latch design point: row-major
@@ -180,6 +184,13 @@ type System struct {
 	cfg  Config
 	dcfg dram.Config
 	ctrl *host.Controller
+
+	// Fault-subsystem state (fault.go); all nil/zero when disabled.
+	inj        *fault.Injector
+	transient  *fault.TransientInjector
+	injected   FaultReport
+	scrubTotal ScrubReport
+	sinceScrub int
 }
 
 // NewSystem builds a Newton system.
@@ -192,7 +203,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, dcfg: dcfg, ctrl: ctrl}, nil
+	s := &System{cfg: cfg, dcfg: dcfg, ctrl: ctrl}
+	s.setupFaults()
+	return s, nil
 }
 
 // Config returns the system's configuration.

@@ -28,12 +28,24 @@ type (
 	ServeResult = serve.Result
 	// ShedPolicy picks the victim when the bounded queue is full.
 	ShedPolicy = serve.ShedPolicy
+	// ServeFaultPlan injects result-validation failures, degradation,
+	// and shard death into a shard (see internal/serve reliability).
+	ServeFaultPlan = serve.FaultPlan
+	// ServeHealth is a shard's post-run state.
+	ServeHealth = serve.Health
 )
 
 // Shed policy values.
 const (
 	ShedNewest = serve.ShedNewest
 	ShedOldest = serve.ShedOldest
+)
+
+// Shard health values.
+const (
+	ShardHealthy  = serve.Healthy
+	ShardDegraded = serve.Degraded
+	ShardFailed   = serve.Failed
 )
 
 // ServedModel is one entry of a serving fleet's model set.
@@ -49,6 +61,15 @@ type ServedModel struct {
 	// Weight is the model's share of generated Poisson traffic
 	// (default 1; ignored for replayed traces).
 	Weight float64
+	// Fault injects result-validation failures into this model's Newton
+	// channel shard (nil = reliable). GPU and Ideal fleets serve all
+	// models from one shard and ignore per-model plans.
+	Fault *ServeFaultPlan
+	// FailoverTo names another served model whose shard takes over this
+	// model's traffic after Fault.FailAt (Newton fleets only). The
+	// target shard's backend must also be able to serve this model, so
+	// NewServer calibrates it for both.
+	FailoverTo string
 }
 
 // ServeBackendKind selects the device a Server simulates.
@@ -161,24 +182,70 @@ func (c Config) NewServer(sc ServeConfig) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		serves, failTo, err := failoverClosure(sc.Models)
+		if err != nil {
+			return nil, err
+		}
 		for i, sub := range subs {
 			dcfg, err := sub.dramConfig()
 			if err != nil {
 				return nil, err
 			}
 			own := map[int]serve.ModelShape{i: shapes[i]}
+			for _, j := range serves[i] {
+				own[j] = shapes[j]
+			}
 			b, err := serve.NewNewtonBackend(dcfg, sub.hostOptions(), own, calibrate, sc.Seed)
 			if err != nil {
 				return nil, err
 			}
-			srv.shards = append(srv.shards, serve.Shard{
+			sh := serve.Shard{
 				Name:    fmt.Sprintf("%s/%dch", sc.Models[i].Name, sub.Channels),
 				Backend: b,
 				Models:  []int{i},
-			})
+				Fault:   sc.Models[i].Fault,
+			}
+			if j := failTo[i]; j >= 0 {
+				sh.FailoverTo = fmt.Sprintf("%s/%dch", sc.Models[j].Name, subs[j].Channels)
+			}
+			srv.shards = append(srv.shards, sh)
 		}
 	}
 	return srv, nil
+}
+
+// failoverClosure resolves each model's FailoverTo name to a model
+// index and computes, per model, which other models can reach its
+// shard through failover chains (A -> B -> C means C's backend must be
+// calibrated for A's and B's matrices).
+func failoverClosure(models []ServedModel) (serves [][]int, failTo []int, err error) {
+	byName := make(map[string]int, len(models))
+	for i, m := range models {
+		byName[m.Name] = i
+	}
+	failTo = make([]int, len(models))
+	for i, m := range models {
+		failTo[i] = -1
+		if m.FailoverTo == "" {
+			continue
+		}
+		j, ok := byName[m.FailoverTo]
+		if !ok {
+			return nil, nil, fmt.Errorf("newton: model %q fails over to unknown model %q", m.Name, m.FailoverTo)
+		}
+		failTo[i] = j
+	}
+	serves = make([][]int, len(models))
+	for i := range models {
+		// Walk the chain from i; every hop target may see i's traffic.
+		for j, hops := failTo[i], 0; j >= 0 && hops < len(models); j, hops = failTo[j], hops+1 {
+			if j == i {
+				break
+			}
+			serves[j] = append(serves[j], i)
+		}
+	}
+	return serves, failTo, nil
 }
 
 // splitForModels resolves the per-model partition sizes: explicit

@@ -233,3 +233,84 @@ func TestServeTraceHelpers(t *testing.T) {
 		t.Fatalf("round trip: %v, %v", got, err)
 	}
 }
+
+// TestServerFaultFailover drives the reliability plumbing through the
+// public API: a model whose shard dies fails over to a replica shard
+// that NewServer calibrated for both matrices.
+func TestServerFaultFailover(t *testing.T) {
+	cfg := smallCfg()
+	sc := ServeConfig{
+		Models: []ServedModel{
+			{Name: "a", Rows: 128, Cols: 64, Channels: 2,
+				Fault: &ServeFaultPlan{FailAt: 1}, FailoverTo: "b"},
+			{Name: "b", Rows: 128, Cols: 64, Channels: 2},
+		},
+		Seed: 11,
+	}
+	srv, err := cfg.NewServer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []ServeRequest{
+		{T: 0, Model: 0},   // launches before FailAt: served by a's shard
+		{T: 100, Model: 0}, // arrives dead: rerouted to b's shard
+		{T: 200, Model: 1}, // b's own traffic
+	}
+	res, err := srv.Replay(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Shards[0], res.Shards[1]
+	if a.Name != "a/2ch" || b.Name != "b/2ch" {
+		t.Fatalf("shard names %q, %q", a.Name, b.Name)
+	}
+	if a.Metrics.Served != 1 {
+		t.Errorf("a served %d, want 1 (pre-failure launch)", a.Metrics.Served)
+	}
+	if b.Metrics.Served != 2 {
+		t.Errorf("b served %d, want 2 (1 failed over + 1 own)", b.Metrics.Served)
+	}
+	if res.Total.Served != 3 || res.Total.Shed != 0 {
+		t.Errorf("total served %d shed %d, want 3/0", res.Total.Served, res.Total.Shed)
+	}
+
+	bad := sc
+	bad.Models = append([]ServedModel(nil), sc.Models...)
+	bad.Models[0].FailoverTo = "nope"
+	if _, err := cfg.NewServer(bad); err == nil {
+		t.Error("unknown failover model accepted")
+	}
+}
+
+// TestServerRetryPlan checks that a detected-error plan surfaces
+// Retried through the public metrics and stays deterministic.
+func TestServerRetryPlan(t *testing.T) {
+	cfg := smallCfg()
+	sc := ServeConfig{
+		Models: []ServedModel{{Name: "a", Rows: 128, Cols: 64, Channels: 4,
+			Fault: &ServeFaultPlan{Seed: 5, DetectedPerLaunch: 0.5, MaxRetries: 4}}},
+		Seed: 11,
+	}
+	run := func() *ServeResult {
+		srv, err := cfg.NewServer(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.ServePoisson(200, 1e5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Total.Retried == 0 {
+		t.Fatal("50% detection rate retried nothing over 200 launches")
+	}
+	if r1.Total.Retried != r2.Total.Retried || r1.Total.Latency.P99() != r2.Total.Latency.P99() {
+		t.Fatalf("retry plan not reproducible: %d/%v vs %d/%v",
+			r1.Total.Retried, r1.Total.Latency.P99(), r2.Total.Retried, r2.Total.Latency.P99())
+	}
+	if r1.Total.Retried > 0 && !strings.Contains(r1.Total.Summary(), "retried") {
+		t.Errorf("Summary hides retries: %q", r1.Total.Summary())
+	}
+}
