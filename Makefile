@@ -1,10 +1,16 @@
 # Convenience targets; `make check` is the full verification gate
 # (build + vet + race-enabled tests) CI and pre-commit should run.
 
-.PHONY: check build test bench figures
+.PHONY: check build test bench figures fuzz
 
 check:
 	./scripts/check.sh
+
+# Short-budget fuzzing of every Fuzz* target (conformance checker
+# equivalence, trace-format round-trip); FUZZTIME overrides the
+# default 10s per target.
+fuzz:
+	./scripts/fuzz.sh
 
 build:
 	go build ./...

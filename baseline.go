@@ -32,6 +32,11 @@ func NewIdealBaseline(cfg Config) (*IdealBaseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Verify {
+		if err := h.EnableVerify(); err != nil {
+			return nil, err
+		}
+	}
 	return &IdealBaseline{cfg: cfg, dcfg: dcfg, h: h}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"newton/internal/conformance"
 	"newton/internal/experiments"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
+	verify := flag.Bool("verify", false, "run every simulation under the independent conformance checker; any timing or protocol violation aborts")
 	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
 	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, fault)")
 	flag.Parse()
@@ -56,6 +58,7 @@ func main() {
 	cfg.Channels = *channels
 	cfg.Banks = *banks
 	cfg.Functional = *functional
+	cfg.Verify = *verify
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -224,4 +227,10 @@ func main() {
 		fmt.Println(experiments.RenderNoReuse(rows))
 		return nil
 	})
+	if *verify {
+		// Runners fail fast on the first violation, so reaching this line
+		// means every checked command was clean.
+		fmt.Fprintf(os.Stderr, "conformance: %d commands checked, 0 violations\n",
+			conformance.TotalCommandsChecked())
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"newton/internal/aim"
+	"newton/internal/conformance"
 	"newton/internal/dram"
 	"newton/internal/traceio"
 )
@@ -33,6 +34,7 @@ func main() {
 	latches := flag.Int("latches", 1, "result latches per bank")
 	conventional := flag.Bool("conventional-tfaw", false, "use the conventional (non-AiM) tFAW")
 	audit := flag.Bool("audit", true, "also re-verify the trace with the independent rule auditor")
+	verify := flag.Bool("verify", true, "also run the trace through the protocol-conformance checker")
 	flag.Parse()
 
 	if *in == "" {
@@ -76,6 +78,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("audit:         clean (independent rule check)")
+	}
+	if *verify && shifted == 0 {
+		// Refresh cadence is disabled: offline traces carry no refresh
+		// policy of their own (strict replay already re-times any REFs
+		// they do contain).
+		ctrace := make([]conformance.TimedCommand, len(trace))
+		for i, tc := range trace {
+			ctrace[i] = conformance.TimedCommand{Cycle: tc.Cycle, Cmd: tc.Cmd}
+		}
+		opt := conformance.Options{Latches: *latches, RefreshSlack: -1}
+		vs, err := conformance.CheckTrace(dram.Config{Geometry: geo, Timing: t}, opt, ctrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(vs) > 0 {
+			log.Fatalf("conformance: %d violations, first: %v", len(vs), vs[0])
+		}
+		fmt.Printf("conformance:   %d commands checked, 0 violations\n", len(ctrace))
 	}
 	fmt.Printf("replayed:      %d commands\n", rep.Commands)
 	fmt.Printf("finish cycle:  %d\n", rep.LastCycle)

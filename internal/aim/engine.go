@@ -29,6 +29,9 @@ type Engine struct {
 	pendingFilter []bf16.Vector
 	// filterScratch is per-bank decode space for the COMP fast path.
 	filterScratch []bf16.Vector
+
+	// obs, when set, is notified of every successfully issued command.
+	obs dram.Observer
 }
 
 // NewEngine wraps a channel with Newton's compute datapath: one result
@@ -66,6 +69,13 @@ func (e *Engine) MAC(b int) *MACUnit { return e.macs[b] }
 // in-DRAM activation; the default Newton schedule applies activations on
 // the host).
 func (e *Engine) SetLUT(l *LUT) { e.lut = l }
+
+// SetObserver installs a passive command-stream tap (nil removes it).
+// The engine observes the original AiM command, before the channel-level
+// rewrite a ganged COLRD undergoes (chCmd), so observers see the stream
+// the scheduler actually emitted; do not also attach the same observer
+// to the underlying channel.
+func (e *Engine) SetObserver(o dram.Observer) { e.obs = o }
 
 // chCmd maps an AiM command to the channel-level command whose timing
 // and bank effects it has: a ganged COLRD performs a COMP-style all-bank
@@ -205,6 +215,9 @@ func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
 			results = e.lut.ApplyVector(results)
 		}
 		out.Results = results
+	}
+	if e.obs != nil {
+		e.obs.Observe(cmd, cycle)
 	}
 	return out, nil
 }

@@ -1,0 +1,187 @@
+package conformance_test
+
+import (
+	"math"
+	"testing"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/layout"
+)
+
+// verifiedController builds a Newton controller with the conformance
+// checker attached.
+func verifiedController(t *testing.T, channels, banks int) *host.Controller {
+	t.Helper()
+	opts := host.Newton()
+	opts.Verify = true
+	ctrl, err := host.NewController(diffConfig(channels, banks), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// runOnce places m and runs one product, returning output and cycles.
+func runOnce(t *testing.T, ctrl *host.Controller, m *layout.Matrix, v bf16.Vector) ([]float32, int64) {
+	t.Helper()
+	p, err := ctrl.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := ctrl.Conformance().Err(); verr != nil {
+		t.Fatalf("conformance violation: %v", verr)
+	}
+	return res.Output, res.Cycles
+}
+
+// permuteRows returns m with its rows rearranged so that row i of the
+// result is row perm[i] of m.
+func permuteRows(m *layout.Matrix, perm []int) *layout.Matrix {
+	out := layout.NewMatrix(m.Rows, m.Cols)
+	for i, src := range perm {
+		copy(out.Data[i*m.Cols:(i+1)*m.Cols], m.Data[src*m.Cols:(src+1)*m.Cols])
+	}
+	return out
+}
+
+// reverse returns the permutation n-1, n-2, ..., 0.
+func reverse(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}
+
+// TestMetamorphicDataIndependence: command timing is a function of shape
+// and configuration only, never of the weight or input values.
+func TestMetamorphicDataIndependence(t *testing.T) {
+	v := bf16.Vector(layout.RandomMatrix(512, 1, 21).Data)
+	_, cyclesA := runOnce(t, verifiedController(t, 1, 16), layout.RandomMatrix(512, 512, 1), v)
+	_, cyclesB := runOnce(t, verifiedController(t, 1, 16), layout.RandomMatrix(512, 512, 99), v)
+	if cyclesA != cyclesB {
+		t.Errorf("cycle count depends on data values: %d vs %d", cyclesA, cyclesB)
+	}
+}
+
+// TestMetamorphicRowPermutation: permuting matrix rows permutes the
+// output identically and cannot change the cycle count - each output
+// element depends only on its own matrix row, and the command schedule
+// only on the shape.
+func TestMetamorphicRowPermutation(t *testing.T) {
+	const rows, cols = 512, 512
+	m := layout.RandomMatrix(rows, cols, 5)
+	v := bf16.Vector(layout.RandomMatrix(cols, 1, 6).Data)
+	perm := reverse(rows)
+
+	out, cycles := runOnce(t, verifiedController(t, 2, 16), m, v)
+	pout, pcycles := runOnce(t, verifiedController(t, 2, 16), permuteRows(m, perm), v)
+
+	if cycles != pcycles {
+		t.Errorf("row permutation changed cycles: %d vs %d", cycles, pcycles)
+	}
+	for i := range pout {
+		if pout[i] != out[perm[i]] {
+			t.Fatalf("output[%d] = %v after permutation, want original output[%d] = %v",
+				i, pout[i], perm[i], out[perm[i]])
+		}
+	}
+}
+
+// TestMetamorphicRowScaling: doubling the number of matrix rows must
+// about double the run's cycle count (per-run constants amortize).
+func TestMetamorphicRowScaling(t *testing.T) {
+	const cols = 512
+	v := bf16.Vector(layout.RandomMatrix(cols, 1, 7).Data)
+	_, c1 := runOnce(t, verifiedController(t, 1, 16), layout.RandomMatrix(2048, cols, 8), v)
+	_, c2 := runOnce(t, verifiedController(t, 1, 16), layout.RandomMatrix(4096, cols, 8), v)
+	ratio := float64(c2) / float64(c1)
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("doubling rows scaled cycles by %.3fx, want about 2x (%d -> %d)", ratio, c1, c2)
+	}
+}
+
+// TestMetamorphicChannelSplit: splitting the same matrix across twice
+// the channels must about halve the cycles and exactly preserve the
+// output - channels share nothing, so sharding is pure parallelism.
+func TestMetamorphicChannelSplit(t *testing.T) {
+	const rows, cols = 4096, 512
+	m := layout.RandomMatrix(rows, cols, 9)
+	v := bf16.Vector(layout.RandomMatrix(cols, 1, 10).Data)
+
+	out1, c1 := runOnce(t, verifiedController(t, 1, 16), m, v)
+	out2, c2 := runOnce(t, verifiedController(t, 2, 16), m, v)
+
+	ratio := float64(c2) / float64(c1)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("doubling channels scaled cycles by %.3fx, want about 0.5x (%d -> %d)", ratio, c1, c2)
+	}
+	if len(out1) != len(out2) {
+		t.Fatalf("output lengths differ: %d vs %d", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("output[%d] differs across channel counts: %v vs %v", i, out1[i], out2[i])
+		}
+	}
+}
+
+// TestMetamorphicRequestOrder: two independent products on one system
+// consume the same total time in either order - no hidden inter-request
+// state beyond the refresh schedule, which is order-invariant at run
+// boundaries (clocks resynchronize after each product).
+func TestMetamorphicRequestOrder(t *testing.T) {
+	const cols = 512
+	mA := layout.RandomMatrix(1024, cols, 13)
+	mB := layout.RandomMatrix(2048, cols, 14)
+	v := bf16.Vector(layout.RandomMatrix(cols, 1, 15).Data)
+
+	run := func(first, second *layout.Matrix) int64 {
+		ctrl := verifiedController(t, 1, 16)
+		runOnce(t, ctrl, first, v)
+		runOnce(t, ctrl, second, v)
+		return ctrl.Now()
+	}
+	ab := run(mA, mB)
+	ba := run(mB, mA)
+	if ab != ba {
+		t.Errorf("request order changed total time: A,B = %d cycles, B,A = %d cycles", ab, ba)
+	}
+}
+
+// TestMetamorphicTimingPresetOrder: de-optimized variants must never be
+// faster than the full design on the same product (monotonicity of the
+// optimization ladder's endpoints), and both must verify cleanly.
+func TestMetamorphicTimingPresetOrder(t *testing.T) {
+	m := layout.RandomMatrix(1024, 512, 17)
+	v := bf16.Vector(layout.RandomMatrix(512, 1, 18).Data)
+
+	cfgFull := dram.Config{Geometry: diffConfig(1, 16).Geometry, Timing: dram.AiMTiming()}
+	cfgConv := dram.Config{Geometry: cfgFull.Geometry, Timing: dram.ConventionalTiming()}
+
+	full := host.Newton()
+	full.Verify = true
+	nonOpt := host.NonOpt()
+	nonOpt.Verify = true
+
+	fc, err := host.NewController(cfgFull, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := host.NewController(cfgConv, nonOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullCycles := runOnce(t, fc, m, v)
+	_, nonOptCycles := runOnce(t, nc, m, v)
+	if nonOptCycles <= fullCycles {
+		t.Errorf("de-optimized Newton (%d cycles) not slower than full Newton (%d cycles)",
+			nonOptCycles, fullCycles)
+	}
+}

@@ -2,6 +2,16 @@ package dram
 
 import "fmt"
 
+// Observer is a passive tap on a command stream: it is notified of every
+// successfully issued command with its issue cycle, after the command's
+// effects have been applied. Observers must not mutate the channel; the
+// conformance checker (internal/conformance) uses this hook to re-derive
+// and assert every timing and protocol constraint independently of the
+// issuing scheduler.
+type Observer interface {
+	Observe(cmd Command, cycle int64)
+}
+
 // Channel models one (pseudo) channel: its banks, command bus, shared
 // column datapath, activation windows, and functional data. It is the
 // unit of Newton's operation; multiple channels repeat in parallel.
@@ -11,6 +21,7 @@ import "fmt"
 type Channel struct {
 	cfg   Config
 	banks []*Bank
+	obs   Observer
 
 	// lastRowCmd and lastColCmd are the cycles of the most recent command
 	// on the row and column command buses. HBM-class DRAMs split the
@@ -74,6 +85,12 @@ func (ch *Channel) Stats() Stats { return ch.stats.Clone() }
 
 // ResetStats zeroes the counters without touching DRAM state.
 func (ch *Channel) ResetStats() { ch.stats = Stats{} }
+
+// SetObserver installs a passive command-stream tap (nil removes it).
+// Callers that drive the channel through an aim.Engine should attach the
+// observer to the engine instead, so it sees the AiM command stream
+// before the engine's channel-level rewrites.
+func (ch *Channel) SetObserver(o Observer) { ch.obs = o }
 
 // IssueResult reports the effects of a successfully issued command.
 type IssueResult struct {
@@ -235,6 +252,9 @@ func (ch *Channel) Issue(cmd Command, cycle int64) (IssueResult, error) {
 	ch.stats.record(cmd, cycle, ch.cfg)
 	if res.DataReady > ch.stats.LastDataCycle {
 		ch.stats.LastDataCycle = res.DataReady
+	}
+	if ch.obs != nil {
+		ch.obs.Observe(cmd, cycle)
 	}
 	return res, nil
 }

@@ -68,7 +68,7 @@ func GDDR6Config(channels int) Config {
 			TAA:     20,
 			TWR:     8,
 			TRRD:    6,
-			TFAW:    16,
+			TFAW:    18, // the 3*tRRD floor: four tRRD-spaced ACTs span exactly tFAW
 			TREFI:   3900,
 			TRFC:    260,
 			TMAC:    12,

@@ -1,0 +1,133 @@
+package dram
+
+import "testing"
+
+// presetsUnderTest enumerates every preset configuration the repository
+// ships, with the timing discipline it claims: AiM presets carry the
+// strengthened-regulator tFAW (which may sit on the 3*tRRD floor - four
+// tRRD-spaced activations span exactly tFAW), conventional timing must
+// satisfy the standard 4*tRRD relation.
+func presetsUnderTest() []struct {
+	name string
+	cfg  Config
+	aim  bool
+} {
+	out := []struct {
+		name string
+		cfg  Config
+		aim  bool
+	}{
+		{"hbm2e-paper", HBM2EConfig(), true},
+		{"hbm2e-conventional", Config{Geometry: HBM2EGeometry(24), Timing: ConventionalTiming()}, false},
+	}
+	for _, f := range Families() {
+		cfg, ok := FamilyConfig(f, 2)
+		if !ok {
+			panic("family preset missing: " + string(f))
+		}
+		out = append(out, struct {
+			name string
+			cfg  Config
+			aim  bool
+		}{string(f), cfg, true})
+	}
+	return out
+}
+
+// TestPresetConfigsValidate: every shipped preset must pass the
+// simulator's own configuration validation.
+func TestPresetConfigsValidate(t *testing.T) {
+	for _, p := range presetsUnderTest() {
+		if err := p.cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", p.name, err)
+		}
+	}
+}
+
+// TestPresetTimingRelations checks the JEDEC-style internal consistency
+// relations every DRAM datasheet satisfies.
+func TestPresetTimingRelations(t *testing.T) {
+	for _, p := range presetsUnderTest() {
+		tm := p.cfg.Timing
+		if tm.TRAS < tm.TRCD {
+			t.Errorf("%s: tRAS (%d) < tRCD (%d): a row cannot restore before it finishes opening",
+				p.name, tm.TRAS, tm.TRCD)
+		}
+		if got, want := tm.TRC(), tm.TRAS+tm.TRP; got != want {
+			t.Errorf("%s: tRC = %d, want tRAS+tRP = %d", p.name, got, want)
+		}
+		// tFAW consistency with tRRD: conventional parts keep the full
+		// four-activation window above 4*tRRD; AiM presets may shrink it
+		// to the 3*tRRD floor (below that, tFAW would be unreachable:
+		// four tRRD-spaced ACTs already span 3*tRRD).
+		floor := 3 * tm.TRRD
+		if !p.aim {
+			floor = 4 * tm.TRRD
+		}
+		if tm.TFAW < floor {
+			t.Errorf("%s: tFAW (%d) below the %d floor (tRRD %d, aim=%v)",
+				p.name, tm.TFAW, floor, tm.TRRD, p.aim)
+		}
+		if tm.TREFI <= tm.TRFC {
+			t.Errorf("%s: tREFI (%d) <= tRFC (%d): refresh would consume the whole interval",
+				p.name, tm.TREFI, tm.TRFC)
+		}
+		if tm.TWR <= 0 || tm.TCCD <= 0 || tm.TRRD <= 0 || tm.CmdSlot <= 0 {
+			t.Errorf("%s: non-positive pacing values: %+v", p.name, tm)
+		}
+		if tm.TAA < tm.TCCD {
+			t.Errorf("%s: tAA (%d) < tCCD (%d): read latency below column cadence", p.name, tm.TAA, tm.TCCD)
+		}
+	}
+}
+
+// TestHBM2EConfigMatchesPaper pins the published Table III values and
+// the paper's evaluation geometry: changing any of these silently
+// changes every figure in the repository.
+func TestHBM2EConfigMatchesPaper(t *testing.T) {
+	cfg := HBM2EConfig()
+	g, tm := cfg.Geometry, cfg.Timing
+	if g.Channels != 24 || g.Banks != 16 || g.BanksPerCluster != 4 {
+		t.Errorf("geometry channels/banks/cluster = %d/%d/%d, want 24/16/4",
+			g.Channels, g.Banks, g.BanksPerCluster)
+	}
+	if g.Rows != 32768 || g.Cols != 32 || g.ColBits != 256 {
+		t.Errorf("geometry rows/cols/colbits = %d/%d/%d, want 32768/32/256",
+			g.Rows, g.Cols, g.ColBits)
+	}
+	// Table III published values at the 1 GHz command clock.
+	if tm.TRCD != 14 || tm.TRP != 14 || tm.TRAS != 33 {
+		t.Errorf("tRCD/tRP/tRAS = %d/%d/%d, want 14/14/33 (Table III)", tm.TRCD, tm.TRP, tm.TRAS)
+	}
+	if tm.TFAW != 18 {
+		t.Errorf("AiM tFAW = %d, want 18 (paper SIII-D aggressive tFAW)", tm.TFAW)
+	}
+	if conv := ConventionalTiming(); conv.TFAW <= tm.TFAW {
+		t.Errorf("conventional tFAW (%d) must exceed AiM tFAW (%d)", conv.TFAW, tm.TFAW)
+	}
+	// Rate matching: one MAC per 16 bits of column I/O (SIII-B).
+	if macs := g.ColBits / 16; macs != 16 {
+		t.Errorf("MACs per bank = %d, want 16", macs)
+	}
+}
+
+// TestFamilyPresetsDistinct: the family presets must actually differ in
+// the dimensions the paper calls out (internal bandwidth, row size) -
+// identical copies would make the families figure meaningless.
+func TestFamilyPresetsDistinct(t *testing.T) {
+	seen := map[[3]int]Family{}
+	for _, f := range Families() {
+		cfg, ok := FamilyConfig(f, 1)
+		if !ok {
+			t.Fatalf("FamilyConfig(%q) not ok", f)
+		}
+		key := [3]int{cfg.Geometry.ColBits, cfg.Geometry.Cols, int(cfg.Timing.TCCD)}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("families %s and %s share colbits/cols/tCCD %v", prev, f, key)
+		}
+		seen[key] = f
+	}
+	if _, ok := FamilyConfig(Family("sdram"), 1); ok {
+		t.Error("unknown family accepted")
+	}
+}

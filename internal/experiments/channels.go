@@ -52,11 +52,10 @@ func (c Config) ChannelScaling() ([]ChannelRow, error) {
 			return nil, fmt.Errorf("channel scaling %d ch: %w", channels, err)
 		}
 
-		ih, err := host.NewIdealNonPIM(cfg)
+		ih, err := c.idealHost(cfg)
 		if err != nil {
 			return nil, err
 		}
-		ih.Compute = c.Functional
 		ip, err := ih.Place(m)
 		if err != nil {
 			return nil, err

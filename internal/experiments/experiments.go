@@ -41,6 +41,10 @@ type Config struct {
 	// 64-bit word (0 = uncapped).
 	FaultBERs       []float64
 	FaultMaxPerWord int
+	// Verify runs every simulation under the independent conformance
+	// checker (internal/conformance): any timing or protocol violation
+	// fails the experiment (newton-bench -verify).
+	Verify bool
 }
 
 // Default returns the paper's evaluation configuration.
@@ -81,6 +85,7 @@ func (c Config) inputFor(cols int) bf16.Vector {
 // returns the run. Timing preset follows opts: the de-optimized design
 // points before "aggressive tFAW" use conventional timing.
 func (c Config) runNewtonVariant(b workloads.Bench, opts host.Options, aggressiveTFAW bool, banks int) (*host.Result, error) {
+	opts.Verify = opts.Verify || c.Verify
 	ctrl, err := host.NewController(c.dramConfig(banks, aggressiveTFAW), opts)
 	if err != nil {
 		return nil, err
@@ -93,13 +98,28 @@ func (c Config) runNewtonVariant(b workloads.Bench, opts host.Options, aggressiv
 	return ctrl.RunMVM(p, c.inputFor(b.Cols))
 }
 
-// runIdeal simulates the Ideal Non-PIM on one benchmark.
-func (c Config) runIdeal(b workloads.Bench, banks int) (*host.Result, error) {
-	h, err := host.NewIdealNonPIM(c.dramConfig(banks, true))
+// idealHost builds an Ideal Non-PIM baseline with the experiment-wide
+// functional and verification settings applied.
+func (c Config) idealHost(cfg dram.Config) (*host.IdealNonPIM, error) {
+	h, err := host.NewIdealNonPIM(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if c.Verify {
+		if err := h.EnableVerify(); err != nil {
+			return nil, err
+		}
+	}
 	h.Compute = c.Functional
+	return h, nil
+}
+
+// runIdeal simulates the Ideal Non-PIM on one benchmark.
+func (c Config) runIdeal(b workloads.Bench, banks int) (*host.Result, error) {
+	h, err := c.idealHost(c.dramConfig(banks, true))
+	if err != nil {
+		return nil, err
+	}
 	m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
 	p, err := h.Place(m)
 	if err != nil {
@@ -158,15 +178,17 @@ func table(header []string, rows [][]string) string {
 // refinement, so reproduced figures measure the paper's controller. The
 // overlap appears only as Fig. 9's explicit "+overlap*" step (and is the
 // library default outside the reproduction suite).
-func (Config) paperNewton() host.Options {
+func (c Config) paperNewton() host.Options {
 	o := host.Newton()
 	o.OverlapBufferLoad = false
+	o.Verify = c.Verify
 	return o
 }
 
 // paperVariant strips the overlap refinement from any preset.
-func (Config) paperVariant(o host.Options) host.Options {
+func (c Config) paperVariant(o host.Options) host.Options {
 	o.OverlapBufferLoad = false
+	o.Verify = o.Verify || c.Verify
 	return o
 }
 

@@ -51,11 +51,10 @@ func (c Config) Families() ([]FamilyRow, error) {
 			return nil, fmt.Errorf("families %s: %w", f, err)
 		}
 
-		ih, err := host.NewIdealNonPIM(cfg)
+		ih, err := c.idealHost(cfg)
 		if err != nil {
 			return nil, err
 		}
-		ih.Compute = c.Functional
 		ip, err := ih.Place(m)
 		if err != nil {
 			return nil, err

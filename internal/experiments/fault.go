@@ -159,7 +159,9 @@ func (c Config) FaultCampaign() ([]FaultPoint, FaultSummary, error) {
 // faultPoint runs one campaign cell on a fresh device.
 func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *FaultSummary) (FaultPoint, error) {
 	dcfg := c.dramConfig(c.Banks, true)
-	ctrl, err := host.NewController(dcfg, host.Newton())
+	opts := host.Newton()
+	opts.Verify = c.Verify
+	ctrl, err := host.NewController(dcfg, opts)
 	if err != nil {
 		return FaultPoint{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"newton/internal/addr"
 	"newton/internal/aim"
 	"newton/internal/bf16"
+	"newton/internal/conformance"
 	"newton/internal/dram"
 	"newton/internal/layout"
 )
@@ -33,6 +34,9 @@ type Controller struct {
 	// top, so AiM and non-AiM data may share banks but never a DRAM row
 	// (the paper's same-row restriction, §III-A).
 	rows *addr.RowAllocator
+	// verify, when Options.Verify is set, holds the per-channel
+	// conformance checkers tapping every engine's command stream.
+	verify *conformance.Suite
 }
 
 // NewController builds a controller and its channels.
@@ -48,16 +52,32 @@ func NewController(cfg dram.Config, opts Options) (*Controller, error) {
 		nextRefresh: make([]int64, cfg.Geometry.Channels),
 	}
 	c.rows = addr.NewRowAllocator(cfg.Geometry.Rows)
+	if opts.Verify {
+		s, err := conformance.NewSuite(cfg, conformance.Options{Latches: opts.Latches()})
+		if err != nil {
+			return nil, err
+		}
+		c.verify = s
+	}
 	for i := range c.engines {
 		ch, err := dram.NewChannel(cfg)
 		if err != nil {
 			return nil, err
 		}
 		c.engines[i] = aim.NewEngineWithLatches(ch, opts.Latches())
+		if c.verify != nil {
+			// The engine tap sees the original AiM commands, before the
+			// channel-level rewrite of ganged COLRDs.
+			c.engines[i].SetObserver(c.verify.Channel(i))
+		}
 		c.nextRefresh[i] = cfg.Timing.TREFI
 	}
 	return c, nil
 }
+
+// Conformance returns the attached conformance suite when Options.Verify
+// is set, or nil.
+func (c *Controller) Conformance() *conformance.Suite { return c.verify }
 
 // Config returns the controller's DRAM configuration.
 func (c *Controller) Config() dram.Config { return c.cfg }
@@ -207,6 +227,13 @@ func (c *Controller) issue(ch int, cmd dram.Command) (aim.Result, error) {
 		return aim.Result{}, err
 	}
 	c.now[ch] = at
+	if c.verify != nil {
+		// Fail fast: a verified run stops at the first conformance
+		// violation rather than accumulating them silently.
+		if verr := c.verify.Channel(ch).Err(); verr != nil {
+			return aim.Result{}, fmt.Errorf("verify: %w", verr)
+		}
+	}
 	if c.Trace != nil {
 		c.Trace(ch, cmd, at, r)
 	}

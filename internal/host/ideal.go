@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"newton/internal/bf16"
+	"newton/internal/conformance"
 	"newton/internal/dram"
 	"newton/internal/layout"
 )
@@ -29,6 +30,10 @@ type IdealNonPIM struct {
 	// into a matrix-vector product (functional validation) or just
 	// models the transfer time. Timing is identical either way.
 	Compute bool
+
+	// verify holds the per-channel conformance checkers when
+	// EnableVerify was called.
+	verify *conformance.Suite
 
 	nextFreeRow int
 }
@@ -101,6 +106,24 @@ func (h *IdealNonPIM) Stats() dram.Stats {
 	return s
 }
 
+// EnableVerify attaches an independent conformance checker to every
+// channel (the baseline drives bare channels, so the tap sits on the
+// channel itself). Subsequent violations fail the run.
+func (h *IdealNonPIM) EnableVerify() error {
+	s, err := conformance.NewSuite(h.cfg, conformance.Options{})
+	if err != nil {
+		return err
+	}
+	h.verify = s
+	for i, ch := range h.chans {
+		ch.SetObserver(s.Channel(i))
+	}
+	return nil
+}
+
+// Conformance returns the attached conformance suite, or nil.
+func (h *IdealNonPIM) Conformance() *conformance.Suite { return h.verify }
+
 func (h *IdealNonPIM) issue(ch int, cmd dram.Command) (dram.IssueResult, error) {
 	at := h.chans[ch].EarliestIssue(cmd, h.now[ch])
 	r, err := h.chans[ch].Issue(cmd, at)
@@ -108,6 +131,11 @@ func (h *IdealNonPIM) issue(ch int, cmd dram.Command) (dram.IssueResult, error) 
 		return dram.IssueResult{}, err
 	}
 	h.now[ch] = at
+	if h.verify != nil {
+		if verr := h.verify.Channel(ch).Err(); verr != nil {
+			return dram.IssueResult{}, fmt.Errorf("verify: %w", verr)
+		}
+	}
 	return r, nil
 }
 

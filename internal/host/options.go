@@ -54,6 +54,12 @@ type Options struct {
 	// (§III-F), so the Fig. 9 ladder reproduces their steps without it
 	// and appends it as an explicit extra design point.
 	OverlapBufferLoad bool
+	// Verify attaches an independent conformance checker
+	// (internal/conformance) to every channel's command stream and fails
+	// the run on the first timing or protocol violation. The checker
+	// re-derives every constraint from the dram.Config on its own, so it
+	// catches scheduler bugs the channel's own checker would co-sign.
+	Verify bool
 }
 
 // AutoNormExposure asks the controller to derive the exposed

@@ -89,6 +89,10 @@ type Config struct {
 	// Fault configures the fault-injection and reliability subsystem
 	// (fault.go). The zero value disables it entirely.
 	Fault FaultConfig
+	// Verify attaches the independent conformance checker
+	// (internal/conformance) to every channel's command stream; any
+	// timing or protocol violation fails the run with a "verify:" error.
+	Verify bool
 }
 
 // QuadLatchConfig returns the §III-C quad-latch design point: row-major
@@ -137,6 +141,7 @@ func (c Config) hostOptions() host.Options {
 		OverlapBufferLoad:  c.Opts.OverlapBufferLoad,
 		NormExposureCycles: c.NormExposureCycles,
 		LatchesPerBank:     c.LatchesPerBank,
+		Verify:             c.Verify,
 	}
 }
 

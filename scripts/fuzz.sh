@@ -1,0 +1,18 @@
+#!/bin/sh
+# fuzz.sh - run every Go fuzz target in the repository for a short
+# budget each (native fuzzing allows one -fuzz pattern per package
+# invocation, so targets are enumerated and run one at a time).
+#
+#   FUZZTIME=30s ./scripts/fuzz.sh      # per-target budget, default 10s
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+for pkg in $(go list ./...); do
+	for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
+		echo "== go test -fuzz=^$target\$ -fuzztime=$FUZZTIME $pkg"
+		go test -run '^$' -fuzz "^$target\$" -fuzztime "$FUZZTIME" "$pkg"
+	done
+done
+echo "ok"

@@ -314,3 +314,124 @@ func TestServerRetryPlan(t *testing.T) {
 		t.Errorf("Summary hides retries: %q", r1.Total.Summary())
 	}
 }
+
+// TestServeMetamorphicRename: model names are labels. Renaming every
+// model (shard names change with them) must leave every number in the
+// result - per-shard metrics in order, and the merged totals -
+// byte-identical.
+func TestServeMetamorphicRename(t *testing.T) {
+	cfg := smallCfg()
+	base := ServeConfig{
+		Models: []ServedModel{
+			{Name: "alpha", Rows: 512, Cols: 256, Channels: 2, Weight: 3},
+			{Name: "beta", Rows: 128, Cols: 64, Channels: 2, Weight: 1},
+		},
+		Options: ServeOptions{MaxBatch: 2, MaxWait: 2000, QueueDepth: 64},
+		Seed:    42,
+	}
+	renamed := base
+	renamed.Models = append([]ServedModel(nil), base.Models...)
+	renamed.Models[0].Name = "prod-gnmt-v2"
+	renamed.Models[1].Name = "canary"
+
+	reqs := PoissonRequests(2000, 4e5, []float64{3, 1}, 7)
+	run := func(sc ServeConfig) *ServeResult {
+		srv, err := cfg.NewServer(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Replay(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(base), run(renamed)
+	if len(a.Shards) != len(b.Shards) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a.Shards), len(b.Shards))
+	}
+	for i := range a.Shards {
+		if !reflect.DeepEqual(a.Shards[i].Metrics, b.Shards[i].Metrics) {
+			t.Errorf("shard %d metrics changed under renaming:\n%+v\nvs\n%+v",
+				i, a.Shards[i].Metrics, b.Shards[i].Metrics)
+		}
+	}
+	if !reflect.DeepEqual(a.Total, b.Total) {
+		t.Errorf("total metrics changed under renaming")
+	}
+}
+
+// TestServeMetamorphicPartitionOrder: listing the Split partitions (the
+// served-model set) in a different order, with the request stream's
+// model indices remapped to match, must not change any model's metrics
+// or the merged totals - shards share nothing, so declaration order is
+// presentation only.
+func TestServeMetamorphicPartitionOrder(t *testing.T) {
+	cfg := smallCfg()
+	opt := ServeOptions{MaxBatch: 2, MaxWait: 2000, QueueDepth: 64}
+	fwd := ServeConfig{
+		Models: []ServedModel{
+			{Name: "alpha", Rows: 512, Cols: 256, Channels: 1},
+			{Name: "beta", Rows: 128, Cols: 64, Channels: 2},
+			{Name: "gamma", Rows: 256, Cols: 128, Channels: 1},
+		},
+		Options: opt,
+		Seed:    42,
+	}
+	// Permutation of the model list: rev.Models[i] = fwd.Models[perm[i]].
+	perm := []int{2, 0, 1}
+	rev := fwd
+	rev.Models = make([]ServedModel, len(fwd.Models))
+	for i, src := range perm {
+		rev.Models[i] = fwd.Models[src]
+	}
+	// inv maps a fwd model index to its position in rev.
+	inv := make([]int, len(perm))
+	for i, src := range perm {
+		inv[src] = i
+	}
+
+	reqs := PoissonRequests(3000, 4e5, []float64{1, 1, 1}, 9)
+	remapped := append([]ServeRequest(nil), reqs...)
+	for i := range remapped {
+		remapped[i].Model = inv[remapped[i].Model]
+	}
+
+	run := func(sc ServeConfig, rs []ServeRequest) *ServeResult {
+		srv, err := cfg.NewServer(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Replay(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(fwd, reqs), run(rev, remapped)
+
+	// Per-model metrics match across the permutation (shard i in fwd is
+	// shard inv[i] in rev, carrying the same name prefix).
+	for i := range a.Shards {
+		j := inv[i]
+		if a.Shards[i].Name != b.Shards[j].Name {
+			t.Fatalf("shard identity lost: %q vs %q", a.Shards[i].Name, b.Shards[j].Name)
+		}
+		if !reflect.DeepEqual(a.Shards[i].Metrics, b.Shards[j].Metrics) {
+			t.Errorf("model %s metrics changed under partition reordering", a.Shards[i].Name)
+		}
+	}
+	// Merged totals: every counter and every percentile agrees.
+	if a.Total.Served != b.Total.Served || a.Total.Shed != b.Total.Shed ||
+		a.Total.Launches != b.Total.Launches || a.Total.Retried != b.Total.Retried {
+		t.Errorf("total counters changed under partition reordering: %+v vs %+v", a.Total, b.Total)
+	}
+	for _, q := range []float64{50, 90, 99, 99.9} {
+		if pa, pb := a.Total.Latency.Percentile(q), b.Total.Latency.Percentile(q); pa != pb {
+			t.Errorf("total p%g changed under partition reordering: %v vs %v", q, pa, pb)
+		}
+	}
+	if a.Total.Throughput() != b.Total.Throughput() {
+		t.Errorf("throughput changed under partition reordering")
+	}
+}
