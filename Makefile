@@ -18,8 +18,11 @@ build:
 test:
 	go test ./...
 
+# Wall-clock performance gate: benchmark smoke over every Benchmark*,
+# then a serial-vs-parallel perf report written to BENCH_PR4.json and
+# schema-checked (see scripts/bench.sh for the knobs).
 bench:
-	go test -bench=. -benchmem
+	./scripts/bench.sh
 
 figures:
 	go run ./cmd/newton-bench -fig all

@@ -9,6 +9,15 @@
 // With -json DIR, runners that have a machine-readable form (serving,
 // fault) also write BENCH_<name>.json files into DIR, so the
 // perf/reliability trajectory can be tracked across changes.
+//
+// Simulator wall-clock performance has its own mode: -perf FILE measures
+// serial-vs-parallel throughput (ns/op, allocs/op, simulated cycles per
+// wall-second, speedup, bit-identity, conformance verdict) and writes a
+// newton-bench-perf/v1 JSON report; -checkperf FILE validates such a
+// report (CI runs it on BENCH_PR4.json). -serial forces the serial
+// reference path for any figure; -cpuprofile/-memprofile capture pprof
+// profiles of whatever the invocation runs (see EXPERIMENTS.md for a
+// profiling walkthrough).
 package main
 
 import (
@@ -18,6 +27,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"newton/internal/conformance"
@@ -34,8 +45,66 @@ func main() {
 	verify := flag.Bool("verify", false, "run every simulation under the independent conformance checker; any timing or protocol violation aborts")
 	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
 	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, fault)")
+	serial := flag.Bool("serial", false, "force the serial reference path: channels simulate one at a time and sweeps run their design points sequentially (results are byte-identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	perfOut := flag.String("perf", "", "measure serial-vs-parallel simulator throughput (ns/op, allocs/op, sim-cycles/wall-second, speedup, bit-identity, conformance) and write a "+PerfSchema+" JSON report to this file, then exit")
+	perfCheck := flag.String("checkperf", "", "validate a -perf JSON report against the "+PerfSchema+" schema, then exit")
 	flag.Parse()
 	csv := *format == "csv"
+
+	// stopProfiles flushes any requested pprof outputs; every exit path
+	// below (including failures) runs it so partial profiles survive.
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		cpuStop := stopProfiles
+		path := *memprofile
+		stopProfiles = func() {
+			cpuStop()
+			runtime.GC()
+			f, err := os.Create(path)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
+	}
+	fatalf := func(format string, args ...any) {
+		stopProfiles()
+		log.Fatalf(format, args...)
+	}
+
+	if *perfCheck != "" {
+		if err := checkPerf(*perfCheck); err != nil {
+			fatalf("%v", err)
+		}
+		stopProfiles()
+		return
+	}
+	if *perfOut != "" {
+		if err := runPerf(*channels, *banks, 42, *perfOut); err != nil {
+			fatalf("perf: %v", err)
+		}
+		stopProfiles()
+		return
+	}
 
 	// writeJSON persists a runner's typed rows for cross-run tracking.
 	writeJSON := func(name string, v any) error {
@@ -59,6 +128,7 @@ func main() {
 	cfg.Banks = *banks
 	cfg.Functional = *functional
 	cfg.Verify = *verify
+	cfg.Serial = *serial
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -66,7 +136,7 @@ func main() {
 		}
 		start := time.Now()
 		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -233,4 +303,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "conformance: %d commands checked, 0 violations\n",
 			conformance.TotalCommandsChecked())
 	}
+	stopProfiles()
 }

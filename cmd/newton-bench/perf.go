@@ -1,0 +1,357 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/experiments"
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/workloads"
+)
+
+// PerfSchema tags the -perf report format; scripts/bench.sh and the CI
+// benchmark-smoke job validate reports against it with -checkperf.
+const PerfSchema = "newton-bench-perf/v1"
+
+// PerfSide is one execution mode's measurement of a benchmark.
+type PerfSide struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// SimCyclesPerSec is the simulator's throughput: simulated DRAM
+	// cycles retired per wall-clock second (0 for sweep benchmarks,
+	// whose cycle count spans many heterogeneous runs).
+	SimCyclesPerSec float64 `json:"sim_cycles_per_wall_second"`
+}
+
+// PerfEntry is one benchmark's serial-vs-parallel comparison.
+type PerfEntry struct {
+	Name string `json:"name"`
+	// SimCycles is the simulated duration of one op (0 for sweeps).
+	SimCycles int64    `json:"sim_cycles_per_op"`
+	Serial    PerfSide `json:"serial"`
+	Parallel  PerfSide `json:"parallel"`
+	// Speedup is serial ns/op over parallel ns/op.
+	Speedup float64 `json:"speedup"`
+	// Identical records the determinism check: the parallel run's
+	// outputs, cycle counts and DRAM stats matched the serial reference
+	// bit for bit.
+	Identical bool `json:"byte_identical"`
+}
+
+// PerfReport is the BENCH_PR4.json payload: the simulator's wall-clock
+// performance trajectory, measured from one code path.
+type PerfReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Channels   int    `json:"channels"`
+	Banks      int    `json:"banks"`
+	Generated  string `json:"generated_at"`
+	// VerifyCommands / VerifyViolations are the conformance checker's
+	// verdict over the parallel runs measured here.
+	VerifyCommands   int64       `json:"verify_commands_checked"`
+	VerifyViolations int         `json:"verify_violations"`
+	Benchmarks       []PerfEntry `json:"benchmarks"`
+}
+
+// perfWorkloads are the MVM benchmarks: the largest Table II layer
+// (AlexNet-L6 is too slow to iterate under -perf), a mid-size BERT
+// layer, and the small ragged DLRM layer.
+func perfWorkloads() []workloads.Bench {
+	var out []workloads.Bench
+	for _, name := range []string{"GNMT-s1", "BERT-s2", "DLRM-s1"} {
+		if b, ok := workloads.ByName(name); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// mvmSetup builds a controller with a placed matrix and input for a
+// workload, in the given parallel mode.
+func mvmSetup(channels, banks int, seed int64, b workloads.Bench, parallel int, verify bool) (*host.Controller, *layout.Placement, bf16.Vector, error) {
+	geo := dram.HBM2EGeometry(channels)
+	geo.Banks = banks
+	if banks < geo.BanksPerCluster {
+		geo.BanksPerCluster = banks
+	}
+	opts := host.Newton()
+	opts.Parallel = parallel
+	opts.Verify = verify
+	ctrl, err := host.NewController(dram.Config{Geometry: geo, Timing: dram.AiMTiming()}, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := layout.RandomMatrix(b.Rows, b.Cols, seed)
+	p, err := ctrl.Place(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := bf16.Vector(layout.RandomMatrix(b.Cols, 1, seed+1).Data)
+	return ctrl, p, v, nil
+}
+
+// mvmIdentical compares a serial and a parallel run of the same product
+// at the bit level.
+func mvmIdentical(s, p *host.Result) bool {
+	if len(s.Output) != len(p.Output) || s.Cycles != p.Cycles ||
+		s.StartCycle != p.StartCycle || s.EndCycle != p.EndCycle || s.Stats != p.Stats {
+		return false
+	}
+	for i := range s.Output {
+		if math.Float32bits(s.Output[i]) != math.Float32bits(p.Output[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// measureMVM benchmarks repeated RunMVM on one controller and returns
+// the side plus the simulated cycles of the last op.
+func measureMVM(channels, banks int, seed int64, b workloads.Bench, parallel int) (PerfSide, int64, error) {
+	ctrl, p, v, err := mvmSetup(channels, banks, seed, b, parallel, false)
+	if err != nil {
+		return PerfSide{}, 0, err
+	}
+	var cycles int64
+	var benchErr error
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			res, err := ctrl.RunMVM(p, v)
+			if err != nil {
+				benchErr = err
+				tb.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+	})
+	if benchErr != nil {
+		return PerfSide{}, 0, benchErr
+	}
+	side := PerfSide{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if side.NsPerOp > 0 {
+		side.SimCyclesPerSec = float64(cycles) * 1e9 / float64(side.NsPerOp)
+	}
+	return side, cycles, nil
+}
+
+// perfEntryMVM measures one workload serially and in parallel, checks
+// bit-identity on fresh controllers, and runs a Verify-enabled parallel
+// product so the report carries a conformance verdict.
+func perfEntryMVM(channels, banks int, seed int64, b workloads.Bench, rep *PerfReport) (PerfEntry, error) {
+	entry := PerfEntry{Name: b.Name}
+
+	// Determinism first: fresh controllers, one product each.
+	sc, sp, sv, err := mvmSetup(channels, banks, seed, b, host.ParallelOff, false)
+	if err != nil {
+		return entry, err
+	}
+	sres, err := sc.RunMVM(sp, sv)
+	if err != nil {
+		return entry, err
+	}
+	pc, pp, pv, err := mvmSetup(channels, banks, seed, b, 0, false)
+	if err != nil {
+		return entry, err
+	}
+	pres, err := pc.RunMVM(pp, pv)
+	if err != nil {
+		return entry, err
+	}
+	entry.Identical = mvmIdentical(sres, pres)
+
+	// Conformance: a parallel product under the independent checker.
+	vc, vp, vv, err := mvmSetup(channels, banks, seed, b, 0, true)
+	if err != nil {
+		return entry, err
+	}
+	if _, err := vc.RunMVM(vp, vv); err != nil {
+		return entry, fmt.Errorf("verify run: %w", err)
+	}
+	if suite := vc.Conformance(); suite != nil {
+		rep.VerifyCommands += suite.Commands()
+		rep.VerifyViolations += len(suite.Violations())
+	}
+
+	entry.Serial, entry.SimCycles, err = measureMVM(channels, banks, seed, b, host.ParallelOff)
+	if err != nil {
+		return entry, err
+	}
+	entry.Parallel, _, err = measureMVM(channels, banks, seed, b, 0)
+	if err != nil {
+		return entry, err
+	}
+	if entry.Parallel.NsPerOp > 0 {
+		entry.Speedup = float64(entry.Serial.NsPerOp) / float64(entry.Parallel.NsPerOp)
+	}
+	return entry, nil
+}
+
+// perfEntryFig9 measures the Fig. 9 ablation sweep (a reduced two-layer
+// set so -perf stays iterable) with the sweep-level pool on and off.
+// This is the orchestration benchmark: it exercises the experiment
+// fan-out on top of the per-channel fan-out.
+func perfEntryFig9(channels, banks int, seed int64) (PerfEntry, error) {
+	entry := PerfEntry{Name: "fig9-sweep"}
+	base := experiments.Default()
+	base.Channels = channels
+	base.Banks = banks
+	base.Seed = seed
+	var benches []workloads.Bench
+	for _, name := range []string{"GNMT-s1", "DLRM-s1"} {
+		if b, ok := workloads.ByName(name); ok {
+			benches = append(benches, b)
+		}
+	}
+	base.Benchmarks = benches
+
+	serialCfg := base
+	serialCfg.Serial = true
+
+	sRows, sMeans, err := serialCfg.Fig9()
+	if err != nil {
+		return entry, err
+	}
+	pRows, pMeans, err := base.Fig9()
+	if err != nil {
+		return entry, err
+	}
+	entry.Identical = reflect.DeepEqual(sRows, pRows) && reflect.DeepEqual(sMeans, pMeans)
+
+	measure := func(cfg experiments.Config) (PerfSide, error) {
+		var benchErr error
+		r := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, _, err := cfg.Fig9(); err != nil {
+					benchErr = err
+					tb.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return PerfSide{}, benchErr
+		}
+		return PerfSide{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}, nil
+	}
+	if entry.Serial, err = measure(serialCfg); err != nil {
+		return entry, err
+	}
+	if entry.Parallel, err = measure(base); err != nil {
+		return entry, err
+	}
+	if entry.Parallel.NsPerOp > 0 {
+		entry.Speedup = float64(entry.Serial.NsPerOp) / float64(entry.Parallel.NsPerOp)
+	}
+	return entry, nil
+}
+
+// runPerf measures the report and writes it to path.
+func runPerf(channels, banks int, seed int64, path string) error {
+	rep := PerfReport{
+		Schema:     PerfSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Channels:   channels,
+		Banks:      banks,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, b := range perfWorkloads() {
+		fmt.Fprintf(os.Stderr, "perf: measuring %s...\n", b.Name)
+		entry, err := perfEntryMVM(channels, banks, seed, b, &rep)
+		if err != nil {
+			return fmt.Errorf("perf %s: %w", b.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entry)
+	}
+	fmt.Fprintf(os.Stderr, "perf: measuring fig9-sweep...\n")
+	entry, err := perfEntryFig9(channels, banks, seed)
+	if err != nil {
+		return fmt.Errorf("perf fig9-sweep: %w", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, entry)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("%-12s serial %12d ns/op (%d allocs)  parallel %12d ns/op (%d allocs)  speedup %.2fx  identical=%v\n",
+			e.Name, e.Serial.NsPerOp, e.Serial.AllocsPerOp,
+			e.Parallel.NsPerOp, e.Parallel.AllocsPerOp, e.Speedup, e.Identical)
+	}
+	fmt.Printf("conformance: %d commands checked, %d violations (gomaxprocs=%d, cpus=%d)\n",
+		rep.VerifyCommands, rep.VerifyViolations, rep.GOMAXPROCS, rep.CPUs)
+	return nil
+}
+
+// checkPerf validates a -perf report file against the schema; CI runs
+// it so a drifting report format or a broken determinism check fails
+// the build rather than silently corrupting the trajectory.
+func checkPerf(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != PerfSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, PerfSchema)
+	}
+	if rep.CPUs < 1 || rep.GOMAXPROCS < 1 || rep.GoVersion == "" {
+		return fmt.Errorf("%s: missing environment fields", path)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, e := range rep.Benchmarks {
+		if e.Name == "" {
+			return fmt.Errorf("%s: unnamed benchmark entry", path)
+		}
+		if e.Serial.NsPerOp <= 0 || e.Parallel.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s has non-positive ns/op", path, e.Name)
+		}
+		if e.Speedup <= 0 {
+			return fmt.Errorf("%s: %s has non-positive speedup", path, e.Name)
+		}
+		if !e.Identical {
+			return fmt.Errorf("%s: %s failed the serial/parallel identity check", path, e.Name)
+		}
+	}
+	if rep.VerifyViolations != 0 {
+		return fmt.Errorf("%s: %d conformance violations recorded", path, rep.VerifyViolations)
+	}
+	fmt.Printf("%s: valid %s report, %d benchmarks, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
+	return nil
+}

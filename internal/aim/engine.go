@@ -22,13 +22,21 @@ type Engine struct {
 	lut  *LUT
 
 	// pendingInput is the sub-chunk latched by the last BCAST, feeding
-	// subsequent MAC commands in the de-optimized sequence.
+	// subsequent MAC commands in the de-optimized sequence. The backing
+	// array is preallocated; hasInput tracks whether a BCAST has filled
+	// it.
 	pendingInput bf16.Vector
+	hasInput     bool
 	// pendingFilter holds, per bank, the filter sub-chunk latched by the
-	// last COLRD to that bank.
+	// last COLRD to that bank, likewise preallocated with per-bank
+	// hasFilter valid bits.
 	pendingFilter []bf16.Vector
+	hasFilter     []bool
 	// filterScratch is per-bank decode space for the COMP fast path.
 	filterScratch []bf16.Vector
+	// resScratch is the READRES result buffer, reused across commands so
+	// the result read allocates nothing.
+	resScratch bf16.Vector
 
 	// obs, when set, is notified of every successfully issued command.
 	obs dram.Observer
@@ -42,16 +50,21 @@ func NewEngine(ch *dram.Channel) *Engine { return NewEngineWithLatches(ch, 1) }
 // per bank, the SIII-C quad-latch design point.
 func NewEngineWithLatches(ch *dram.Channel, latches int) *Engine {
 	geo := ch.Config().Geometry
+	lanes := geo.ColBits / 16
 	e := &Engine{
 		ch:            ch,
 		gbuf:          NewGlobalBuffer(geo.Cols, geo.ColBits),
 		macs:          make([]*MACUnit, geo.Banks),
+		pendingInput:  make(bf16.Vector, lanes),
 		pendingFilter: make([]bf16.Vector, geo.Banks),
+		hasFilter:     make([]bool, geo.Banks),
 		filterScratch: make([]bf16.Vector, geo.Banks),
+		resScratch:    make(bf16.Vector, geo.Banks),
 	}
 	for i := range e.macs {
-		e.macs[i] = NewMACUnitWithLatches(geo.ColBits/16, latches)
-		e.filterScratch[i] = make(bf16.Vector, geo.ColBits/16)
+		e.macs[i] = NewMACUnitWithLatches(lanes, latches)
+		e.pendingFilter[i] = make(bf16.Vector, lanes)
+		e.filterScratch[i] = make(bf16.Vector, lanes)
 	}
 	return e
 }
@@ -110,7 +123,9 @@ type Result struct {
 	// Data is RD column data.
 	Data []byte
 	// Results is the concatenated bank result latches from READRES
-	// (index = bank), after LUT activation when a LUT is installed.
+	// (index = bank), after LUT activation when a LUT is installed. The
+	// slice aliases an engine-owned scratch buffer: it is overwritten by
+	// the engine's next READRES, so callers that keep it must copy.
 	Results bf16.Vector
 }
 
@@ -162,35 +177,30 @@ func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
 		}
 
 	case dram.KindBCAST:
-		input, err := e.gbuf.SubChunk(cmd.Col)
+		input, err := e.gbuf.SubChunkView(cmd.Col)
 		if err != nil {
 			return Result{}, err
 		}
-		e.pendingInput = input
+		copy(e.pendingInput, input)
+		e.hasInput = true
 
 	case dram.KindCOLRD:
 		if cmd.Bank == AllBanks {
 			for b := range e.pendingFilter {
-				filter, err := bf16.VectorFromBytes(res.BankData[b])
-				if err != nil {
-					return Result{}, err
-				}
-				e.pendingFilter[b] = filter
+				bf16.DecodeInto(e.pendingFilter[b], res.BankData[b])
+				e.hasFilter[b] = true
 			}
 		} else {
-			filter, err := bf16.VectorFromBytes(res.BankData[cmd.Bank])
-			if err != nil {
-				return Result{}, err
-			}
-			e.pendingFilter[cmd.Bank] = filter
+			bf16.DecodeInto(e.pendingFilter[cmd.Bank], res.BankData[cmd.Bank])
+			e.hasFilter[cmd.Bank] = true
 		}
 
 	case dram.KindMAC:
-		if e.pendingInput == nil {
+		if !e.hasInput {
 			return Result{}, fmt.Errorf("aim: MAC with no broadcast input latched")
 		}
 		apply := func(b int) error {
-			if e.pendingFilter[b] == nil {
+			if !e.hasFilter[b] {
 				return fmt.Errorf("aim: MAC in bank %d with no filter sub-chunk latched", b)
 			}
 			return e.macs[b].AccumulateLatch(cmd.Latch, e.pendingFilter[b], e.pendingInput, cycle, t.TMAC)
@@ -206,15 +216,17 @@ func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
 		}
 
 	case dram.KindREADRES:
-		results := make(bf16.Vector, len(e.macs))
+		// Results points at the engine's reused scratch: it is valid until
+		// this engine's next Issue, and every caller consumes (or copies)
+		// it immediately, so the result read allocates nothing.
 		for b, m := range e.macs {
-			results[b] = m.ResultLatch(cmd.Latch)
+			e.resScratch[b] = m.ResultLatch(cmd.Latch)
 			m.ResetLatch(cmd.Latch)
 		}
 		if e.lut != nil {
-			results = e.lut.ApplyVector(results)
+			e.lut.ApplyInPlace(e.resScratch)
 		}
-		out.Results = results
+		out.Results = e.resScratch
 	}
 	if e.obs != nil {
 		e.obs.Observe(cmd, cycle)

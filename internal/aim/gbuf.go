@@ -59,11 +59,8 @@ func (g *GlobalBuffer) WriteSlot(slot int, data []byte) error {
 	if len(data) != g.laneBits/8 {
 		return fmt.Errorf("aim: GWRITE payload is %d bytes, slot is %d", len(data), g.laneBits/8)
 	}
-	v, err := bf16.VectorFromBytes(data)
-	if err != nil {
-		return err
-	}
-	copy(g.data[slot*g.Lanes():], v)
+	lanes := g.Lanes()
+	bf16.DecodeInto(g.data[slot*lanes:(slot+1)*lanes], data)
 	g.valid[slot] = true
 	return nil
 }

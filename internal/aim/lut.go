@@ -38,3 +38,11 @@ func (l *LUT) ApplyVector(v bf16.Vector) bf16.Vector {
 	}
 	return out
 }
+
+// ApplyInPlace is ApplyVector without the allocation, for the engine's
+// reused READRES result buffer.
+func (l *LUT) ApplyInPlace(v bf16.Vector) {
+	for i, x := range v {
+		v[i] = l.table[x.Bits()]
+	}
+}

@@ -24,8 +24,12 @@ type MACUnit struct {
 	hasValue []bool
 
 	// scratch holds the lane products during one Accumulate, reused
-	// across calls so the compute stream allocates nothing.
-	scratch bf16.Vector
+	// across calls so the compute stream allocates nothing. The products
+	// are kept as widened float32 values (bf16.Round outputs): each
+	// adder-tree level then rounds in float32 instead of packing to 16
+	// bits and unpacking again, which is bit-identical (bf16.Round ==
+	// FromFloat32().Float32()) at half the conversion cost.
+	scratch []float32
 
 	// readyAt is the cycle at which the adder-tree pipeline has drained
 	// into the latch. READRES before this cycle is a datapath hazard; the
@@ -48,7 +52,7 @@ func NewMACUnitWithLatches(lanes, latches int) *MACUnit {
 		lanes:    lanes,
 		latches:  make([]bf16.Num, latches),
 		hasValue: make([]bool, latches),
-		scratch:  make(bf16.Vector, lanes),
+		scratch:  make([]float32, lanes),
 	}
 }
 
@@ -92,6 +96,30 @@ func treeReduceInPlace(v bf16.Vector) bf16.Num {
 	return v[0]
 }
 
+// treeReduceFloats is treeReduceInPlace in the widened-float32 domain:
+// the elements must be bf16.Round outputs, and each level applies
+// bf16.AddFloats with TreeReduce's exact pairing order, so the result
+// equals TreeReduce's widened — by induction over the levels, since
+// AddFloats(x, y) == Add(FromFloat32(x), FromFloat32(y)).Float32() on
+// rounded inputs. This is the MAC units' hot path; the bf16-domain
+// reduction above is kept as the reference the tests compare against.
+func treeReduceFloats(v []float32) float32 {
+	n := len(v)
+	for n > 1 {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			v[i] = bf16.AddFloats(v[2*i], v[2*i+1])
+		}
+		if n%2 == 1 {
+			v[half] = v[n-1]
+			n = half + 1
+		} else {
+			n = half
+		}
+	}
+	return v[0]
+}
+
 // Accumulate performs one compute step into latch 0: multiply the filter
 // sub-chunk by the input sub-chunk lane-wise, reduce through the adder
 // tree, and add into the result latch. cycle is the issue cycle of the
@@ -111,13 +139,13 @@ func (m *MACUnit) AccumulateLatch(latch int, filter, input bf16.Vector, cycle, t
 			len(filter), len(input), m.lanes)
 	}
 	for i := range m.scratch {
-		m.scratch[i] = bf16.Mul(filter[i], input[i])
+		m.scratch[i] = bf16.MulFloat(filter[i], input[i])
 	}
-	sum := treeReduceInPlace(m.scratch)
+	sum := treeReduceFloats(m.scratch)
 	if m.hasValue[latch] {
-		m.latches[latch] = bf16.Add(m.latches[latch], sum)
+		m.latches[latch] = bf16.FromFloat32(m.latches[latch].Float32() + sum)
 	} else {
-		m.latches[latch] = sum
+		m.latches[latch] = bf16.FromFloat32(sum)
 		m.hasValue[latch] = true
 	}
 	if done := cycle + tmac; done > m.readyAt {

@@ -106,6 +106,36 @@ func FMA(a, b, c Num) Num {
 	return FromFloat32(a.Float32()*b.Float32() + c.Float32())
 }
 
+// Round returns f rounded to bfloat16 precision, as a float32: it is
+// FromFloat32(f).Float32() computed in one step, without materializing
+// the 16-bit encoding. The identity is bit-exact for every float32
+// including NaNs (FuzzBF16FastPath proves it): the non-NaN branch
+// performs FromFloat32's round-to-nearest-even increment and then
+// clears the 16 bits that widening would restore as zeros, and the NaN
+// branch keeps the sign and payload while forcing the same quiet bit.
+//
+// Round is the simulator's compute fast path: the MAC adder tree keeps
+// values widened and applies Round at each stage instead of packing to
+// 16 bits and unpacking again, halving the conversions per operation.
+func Round(f float32) float32 {
+	b := math.Float32bits(f)
+	if f != f { // NaN: (Num(b>>16)|0x0040) << 16, i.e. force the quiet bit.
+		return math.Float32frombits(b&0xFFFF0000 | 0x00400000)
+	}
+	b += 0x7FFF + (b>>16)&1
+	return math.Float32frombits(b &^ 0xFFFF)
+}
+
+// MulFloat returns Mul(a, b) as its exact widened float32 value, for
+// compute paths that keep intermediates in float32.
+func MulFloat(a, b Num) float32 { return Round(a.Float32() * b.Float32()) }
+
+// AddFloats adds two already-rounded values (Round or Float32 outputs)
+// with bfloat16 semantics, staying in float32: it equals
+// Add(FromFloat32(x), FromFloat32(y)).Float32() when x and y are
+// exactly representable in bfloat16.
+func AddFloats(x, y float32) float32 { return Round(x + y) }
+
 // Less reports a < b with IEEE semantics (false if either is NaN).
 func Less(a, b Num) bool { return a.Float32() < b.Float32() }
 

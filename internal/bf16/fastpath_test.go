@@ -1,0 +1,89 @@
+package bf16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBF16FastPath proves the compute fast path bit-identical to the
+// reference semantics for arbitrary float32 bit patterns:
+//
+//	Round(f)        == FromFloat32(f).Float32()
+//	MulFloat(a, b)  == Mul(a, b).Float32()
+//	AddFloats(x, y) == Add(FromFloat32(x), FromFloat32(y)).Float32()
+//
+// Comparisons are on the raw bits, so NaN payloads, signed zeros and
+// infinities must all match exactly — the fast path is a drop-in
+// replacement, not an approximation.
+func FuzzBF16FastPath(f *testing.F) {
+	seeds := []uint32{
+		0, 0x80000000, // signed zeros
+		0x3F800000, 0xBF800000, // +-1
+		0x3F808000, 0x3F818000, // round-to-even ties, both directions
+		0x7F7FFFFF, 0xFF7FFFFF, // max finite float32 (overflows bf16)
+		0x7F800000, 0xFF800000, // infinities
+		0x7FC00000, 0xFFC00001, 0x7F800001, // quiet and signaling NaNs
+		0x00000001, 0x00008000, 0x33800000, // subnormals and tiny normals
+	}
+	for _, a := range seeds {
+		f.Add(a, ^a)
+	}
+	f.Fuzz(func(t *testing.T, abits, bbits uint32) {
+		af, bf := math.Float32frombits(abits), math.Float32frombits(bbits)
+		for _, v := range []float32{af, bf} {
+			got := Round(v)
+			want := FromFloat32(v).Float32()
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("Round(%#08x) = %#08x, want %#08x",
+					math.Float32bits(v), math.Float32bits(got), math.Float32bits(want))
+			}
+		}
+		an, bn := FromFloat32(af), FromFloat32(bf)
+		if got, want := MulFloat(an, bn), Mul(an, bn).Float32(); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("MulFloat(%#04x,%#04x) = %#08x, want %#08x",
+				an.Bits(), bn.Bits(), math.Float32bits(got), math.Float32bits(want))
+		}
+		// AddFloats operates on rounded values, as the adder tree does.
+		x, y := an.Float32(), bn.Float32()
+		if got, want := AddFloats(x, y), Add(an, bn).Float32(); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("AddFloats(%#04x,%#04x) = %#08x, want %#08x",
+				an.Bits(), bn.Bits(), math.Float32bits(got), math.Float32bits(want))
+		}
+	})
+}
+
+// TestRoundExhaustiveBF16 checks Round is the identity (modulo NaN
+// quieting) on every widened bfloat16 — the values that actually flow
+// through the MAC tree.
+func TestRoundExhaustiveBF16(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		n := FromBits(uint16(i))
+		f := n.Float32()
+		got := Round(f)
+		want := FromFloat32(f).Float32()
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("Round(bf16 %#04x) = %#08x, want %#08x",
+				i, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+// TestRoundMatchesConvertOnEdges spot-checks the float32 edge cases a
+// short fuzz run might miss.
+func TestRoundMatchesConvertOnEdges(t *testing.T) {
+	cases := []uint32{
+		0x3F7FFFFF,             // just below 1: rounds up to 1
+		0x7F7F8000,             // overflow tie: rounds to +Inf
+		0x7F7F7FFF, 0xFF7F8000, // around the overflow threshold
+		0x00007FFF, 0x00008001, // subnormal rounding
+		0x7FBFFFFF, 0xFFFFFFFF, // NaN payload extremes
+	}
+	for _, bits := range cases {
+		f := math.Float32frombits(bits)
+		got, want := Round(f), FromFloat32(f).Float32()
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("Round(%#08x) = %#08x, want %#08x",
+				bits, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}

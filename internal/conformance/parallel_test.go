@@ -1,0 +1,119 @@
+package conformance_test
+
+import (
+	"reflect"
+	"testing"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/layout"
+)
+
+// randomInput draws a seeded input vector.
+func randomInput(cols int) bf16.Vector {
+	return bf16.Vector(layout.RandomMatrix(cols, 1, 23).Data)
+}
+
+// timedCmd is one observed (command, cycle) event.
+type timedCmd struct {
+	cmd   dram.Command
+	cycle int64
+}
+
+// recorder is a passive per-channel command-stream tap.
+type recorder struct {
+	events []timedCmd
+}
+
+func (r *recorder) Observe(cmd dram.Command, cycle int64) {
+	// Data payloads alias run-shared buffers; the trace identity is about
+	// command kinds, addresses and cycles, so drop the pointer-ish field.
+	cmd.Data = nil
+	r.events = append(r.events, timedCmd{cmd, cycle})
+}
+
+// traceMVM runs one product with a recorder on every channel and
+// returns the per-channel traces.
+func traceMVM(t *testing.T, parallelMode int, channels, banks int, m *layout.Matrix) [][]timedCmd {
+	t.Helper()
+	opts := host.Newton()
+	opts.Parallel = parallelMode
+	ctrl, err := host.NewController(diffConfig(channels, banks), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*recorder, channels)
+	for ch := 0; ch < channels; ch++ {
+		recs[ch] = &recorder{}
+		ctrl.Engine(ch).SetObserver(recs[ch])
+	}
+	p, err := ctrl.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.RunMVM(p, randomInput(m.Cols)); err != nil {
+		t.Fatal(err)
+	}
+	traces := make([][]timedCmd, channels)
+	for ch := range recs {
+		traces[ch] = recs[ch].events
+	}
+	return traces
+}
+
+// TestParallelTraceMetamorphic is the metamorphic identity behind
+// parallel-mode conformance: per channel, a parallel run issues exactly
+// the same (command, cycle) sequence as the serial reference, so any
+// property the checker verifies of one holds of the other.
+func TestParallelTraceMetamorphic(t *testing.T) {
+	const channels, banks = 4, 16
+	m := layout.RandomMatrix(64, 600, 21)
+	serial := traceMVM(t, host.ParallelOff, channels, banks, m)
+	parallel := traceMVM(t, 0, channels, banks, m)
+	for ch := range serial {
+		if len(serial[ch]) == 0 {
+			t.Fatalf("channel %d: empty serial trace", ch)
+		}
+		if len(serial[ch]) != len(parallel[ch]) {
+			t.Fatalf("channel %d: %d commands serial, %d parallel", ch, len(serial[ch]), len(parallel[ch]))
+		}
+		for i := range serial[ch] {
+			if !reflect.DeepEqual(serial[ch][i], parallel[ch][i]) {
+				t.Fatalf("channel %d command %d: serial %+v, parallel %+v",
+					ch, i, serial[ch][i], parallel[ch][i])
+			}
+		}
+	}
+}
+
+// TestParallelVerifyClean checks -verify semantics in parallel mode:
+// the per-channel checkers (one independent Checker per channel, no
+// shared mutable state) observe full command streams and report zero
+// violations, exactly as in serial mode.
+func TestParallelVerifyClean(t *testing.T) {
+	for _, mode := range []int{host.ParallelOff, 0} {
+		opts := host.Newton()
+		opts.Verify = true
+		opts.Parallel = mode
+		ctrl, err := host.NewController(diffConfig(4, 16), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := layout.RandomMatrix(48, 500, 22)
+		p, err := ctrl.Place(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctrl.RunMVM(p, randomInput(m.Cols)); err != nil {
+			t.Fatal(err)
+		}
+		suite := ctrl.Conformance()
+		if suite.Commands() == 0 {
+			t.Fatalf("mode %d: checker observed no commands", mode)
+		}
+		if n := len(suite.Violations()); n != 0 {
+			t.Fatalf("mode %d: %d violations: %v", mode, n, suite.Err())
+		}
+	}
+}

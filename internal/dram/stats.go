@@ -1,11 +1,20 @@
 package dram
 
+// kindCount sizes the per-kind command counters; Kind values are a
+// dense enum ending at KindREADRES.
+const kindCount = int(KindREADRES) + 1
+
 // Stats counts the events on one channel. The power model converts these
 // counts into energy; the experiments convert them into command-bandwidth
 // utilization.
+//
+// Stats is a plain value: the per-kind counters live in a fixed array
+// rather than a map, so snapshotting (Clone), windowing (Diff) and
+// cross-channel summing (Add) are allocation-free — they run once per
+// command window on the simulator's hot path.
 type Stats struct {
-	// Commands counts issued commands by kind.
-	Commands map[Kind]int64
+	// commands counts issued commands by kind; read via Count.
+	commands [kindCount]int64
 	// Activations counts row activations (a G_ACT adds its gang size).
 	Activations int64
 	// ColumnReads and ColumnWrites count per-bank column accesses, so a
@@ -34,10 +43,9 @@ type Stats struct {
 
 // record updates the counters for one issued command.
 func (s *Stats) record(cmd Command, cycle int64, cfg Config) {
-	if s.Commands == nil {
-		s.Commands = make(map[Kind]int64)
+	if k := int(cmd.Kind); k >= 0 && k < kindCount {
+		s.commands[k]++
 	}
-	s.Commands[cmd.Kind]++
 	if !s.issuedAny || cycle < s.FirstCmdCycle {
 		s.FirstCmdCycle = cycle
 	}
@@ -77,34 +85,31 @@ func (s *Stats) record(cmd Command, cycle int64, cfg Config) {
 // TotalCommands returns the number of commands of every kind.
 func (s Stats) TotalCommands() int64 {
 	var n int64
-	for _, c := range s.Commands {
+	for _, c := range s.commands {
 		n += c
 	}
 	return n
 }
 
 // Count returns the number of commands of one kind.
-func (s Stats) Count(k Kind) int64 { return s.Commands[k] }
-
-// Clone returns a deep copy (the Commands map is otherwise shared).
-func (s Stats) Clone() Stats {
-	c := s
-	c.Commands = make(map[Kind]int64, len(s.Commands))
-	for k, v := range s.Commands {
-		c.Commands[k] = v
+func (s Stats) Count(k Kind) int64 {
+	if int(k) < 0 || int(k) >= kindCount {
+		return 0
 	}
-	return c
+	return s.commands[k]
 }
+
+// Clone returns an independent copy. Stats holds no reference types, so
+// this is a plain value copy; the method survives from the map-based
+// counters for its call sites.
+func (s Stats) Clone() Stats { return s }
 
 // Diff returns the events recorded in s but not in the earlier snapshot
 // prev. Interval fields (First/Last cycles) are taken from s.
 func (s Stats) Diff(prev Stats) Stats {
 	d := s
-	d.Commands = make(map[Kind]int64)
-	for k, v := range s.Commands {
-		if n := v - prev.Commands[k]; n != 0 {
-			d.Commands[k] = n
-		}
+	for k := range d.commands {
+		d.commands[k] -= prev.commands[k]
 	}
 	d.Activations -= prev.Activations
 	d.ColumnReads -= prev.ColumnReads
@@ -118,11 +123,8 @@ func (s Stats) Diff(prev Stats) Stats {
 
 // Add accumulates other into s (for summing across channels).
 func (s *Stats) Add(other Stats) {
-	if s.Commands == nil {
-		s.Commands = make(map[Kind]int64)
-	}
-	for k, v := range other.Commands {
-		s.Commands[k] += v
+	for k := range s.commands {
+		s.commands[k] += other.commands[k]
 	}
 	s.Activations += other.Activations
 	s.ColumnReads += other.ColumnReads

@@ -5,6 +5,7 @@ import (
 
 	"newton/internal/host"
 	"newton/internal/layout"
+	"newton/internal/par"
 	"newton/internal/workloads"
 )
 
@@ -32,49 +33,55 @@ type ChannelRow struct {
 // enough that even 48 channels stay fully loaded.
 func (c Config) ChannelScaling() ([]ChannelRow, error) {
 	b, _ := workloads.ByName("AlexNet-L6")
-	var rows []ChannelRow
-	var base int64
-	for _, channels := range ChannelCounts {
+	rows := make([]ChannelRow, len(ChannelCounts))
+	err := par.ForEachErr(c.sweepWorkers(), len(ChannelCounts), func(i int) error {
+		channels := ChannelCounts[i]
 		cfg := c.dramConfig(c.Banks, true)
 		cfg.Geometry.Channels = channels
 
 		ctrl, err := host.NewController(cfg, c.paperNewton())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
 		p, err := ctrl.Place(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		newton, err := ctrl.RunMVM(p, c.inputFor(b.Cols))
 		if err != nil {
-			return nil, fmt.Errorf("channel scaling %d ch: %w", channels, err)
+			return fmt.Errorf("channel scaling %d ch: %w", channels, err)
 		}
 
 		ih, err := c.idealHost(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ip, err := ih.Place(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ideal, err := ih.RunMVM(ip, c.inputFor(b.Cols))
 		if err != nil {
-			return nil, fmt.Errorf("channel scaling %d ch ideal: %w", channels, err)
+			return fmt.Errorf("channel scaling %d ch ideal: %w", channels, err)
 		}
 
-		if base == 0 {
-			base = newton.Cycles
-		}
-		rows = append(rows, ChannelRow{
+		rows[i] = ChannelRow{
 			Channels:         channels,
 			NewtonCycles:     newton.Cycles,
 			IdealCycles:      ideal.Cycles,
 			SpeedupOverIdeal: float64(ideal.Cycles) / float64(newton.Cycles),
-			Scaling:          float64(base) / float64(newton.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Scaling is relative to the smallest channel count, so it derives
+	// from the finished rows rather than from loop order.
+	base := rows[0].NewtonCycles
+	for i := range rows {
+		rows[i].Scaling = float64(base) / float64(rows[i].NewtonCycles)
 	}
 	return rows, nil
 }

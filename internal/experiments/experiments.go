@@ -45,11 +45,42 @@ type Config struct {
 	// checker (internal/conformance): any timing or protocol violation
 	// fails the experiment (newton-bench -verify).
 	Verify bool
+	// Serial forces every simulation and sweep onto the serial reference
+	// path: controllers simulate channels one at a time
+	// (host.ParallelOff) and figure runners stop fanning independent
+	// design points onto the worker pool. The default exploits the
+	// share-nothing structure at both levels; results are byte-identical
+	// either way (the property TestSerialKnobIdentity and the host
+	// package's parallel tests pin), so Serial exists only for A/B
+	// benchmarking and for bisecting a suspected parallelism bug
+	// (newton-bench -serial).
+	Serial bool
 }
 
 // Default returns the paper's evaluation configuration.
 func Default() Config {
 	return Config{Channels: 24, Banks: 16, Seed: 42}
+}
+
+// hostParallel resolves the controller-level Parallel option for the
+// experiment's Serial setting.
+func (c Config) hostParallel() int {
+	if c.Serial {
+		return host.ParallelOff
+	}
+	return 0
+}
+
+// sweepWorkers sizes the figure-level worker pool. Every design point of
+// a sweep (a benchmark layer, a BER x protection cell, a DRAM family)
+// builds its own controller, channels and seeded matrices, so points
+// share nothing and run concurrently; Serial collapses the pool to one
+// worker, which par.ForEachErr executes as a plain ascending loop.
+func (c Config) sweepWorkers() int {
+	if c.Serial {
+		return 1
+	}
+	return 0 // GOMAXPROCS
 }
 
 // benchmarks returns the active layer set.
@@ -86,6 +117,7 @@ func (c Config) inputFor(cols int) bf16.Vector {
 // points before "aggressive tFAW" use conventional timing.
 func (c Config) runNewtonVariant(b workloads.Bench, opts host.Options, aggressiveTFAW bool, banks int) (*host.Result, error) {
 	opts.Verify = opts.Verify || c.Verify
+	opts.Parallel = c.hostParallel()
 	ctrl, err := host.NewController(c.dramConfig(banks, aggressiveTFAW), opts)
 	if err != nil {
 		return nil, err
@@ -111,6 +143,7 @@ func (c Config) idealHost(cfg dram.Config) (*host.IdealNonPIM, error) {
 		}
 	}
 	h.Compute = c.Functional
+	h.Parallel = c.hostParallel()
 	return h, nil
 }
 
@@ -182,6 +215,7 @@ func (c Config) paperNewton() host.Options {
 	o := host.Newton()
 	o.OverlapBufferLoad = false
 	o.Verify = c.Verify
+	o.Parallel = c.hostParallel()
 	return o
 }
 
@@ -189,6 +223,7 @@ func (c Config) paperNewton() host.Options {
 func (c Config) paperVariant(o host.Options) host.Options {
 	o.OverlapBufferLoad = false
 	o.Verify = o.Verify || c.Verify
+	o.Parallel = c.hostParallel()
 	return o
 }
 

@@ -7,6 +7,7 @@ import (
 	"newton/internal/host"
 	"newton/internal/layout"
 	"newton/internal/model"
+	"newton/internal/par"
 )
 
 // FamilyRow is one DRAM family's Newton result: speedup over that
@@ -29,42 +30,44 @@ type FamilyRow struct {
 // bank count and activation-to-streaming ratio. The benchmark layer is
 // GNMT-s1.
 func (c Config) Families() ([]FamilyRow, error) {
-	var rows []FamilyRow
-	for _, f := range dram.Families() {
+	fams := dram.Families()
+	rows := make([]FamilyRow, len(fams))
+	err := par.ForEachErr(c.sweepWorkers(), len(fams), func(i int) error {
+		f := fams[i]
 		cfg, ok := dram.FamilyConfig(f, c.Channels)
 		if !ok {
-			return nil, fmt.Errorf("families: unknown family %q", f)
+			return fmt.Errorf("families: unknown family %q", f)
 		}
 		m := layout.RandomMatrix(4096, 1024, c.Seed)
 		v := c.inputFor(1024)
 
 		ctrl, err := host.NewController(cfg, c.paperNewton())
 		if err != nil {
-			return nil, fmt.Errorf("families %s: %w", f, err)
+			return fmt.Errorf("families %s: %w", f, err)
 		}
 		p, err := ctrl.Place(m)
 		if err != nil {
-			return nil, fmt.Errorf("families %s: %w", f, err)
+			return fmt.Errorf("families %s: %w", f, err)
 		}
 		newton, err := ctrl.RunMVM(p, v)
 		if err != nil {
-			return nil, fmt.Errorf("families %s: %w", f, err)
+			return fmt.Errorf("families %s: %w", f, err)
 		}
 
 		ih, err := c.idealHost(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ip, err := ih.Place(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ideal, err := ih.RunMVM(ip, v)
 		if err != nil {
-			return nil, fmt.Errorf("families %s ideal: %w", f, err)
+			return fmt.Errorf("families %s ideal: %w", f, err)
 		}
 
-		rows = append(rows, FamilyRow{
+		rows[i] = FamilyRow{
 			Family:       f,
 			Banks:        cfg.Geometry.Banks,
 			MACsPerBank:  cfg.Geometry.ColBits / 16,
@@ -73,7 +76,11 @@ func (c Config) Families() ([]FamilyRow, error) {
 			IdealCycles:  ideal.Cycles,
 			Speedup:      float64(ideal.Cycles) / float64(newton.Cycles),
 			Predicted:    model.FromConfig(cfg).Speedup(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

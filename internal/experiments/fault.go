@@ -9,6 +9,7 @@ import (
 	"newton/internal/fault"
 	"newton/internal/host"
 	"newton/internal/nn"
+	"newton/internal/par"
 	"newton/internal/serve"
 )
 
@@ -143,31 +144,62 @@ func (c Config) FaultCampaign() ([]FaultPoint, FaultSummary, error) {
 		MaxPerWord: c.FaultMaxPerWord,
 		Requests:   c.faultRequests(),
 	}
-	var points []FaultPoint
+	// Flatten the BER x protection grid: every cell builds its own
+	// device, injector and serve stream from the config seed, so the
+	// cells run concurrently on the sweep pool.
+	type cell struct {
+		ber       float64
+		protected bool
+	}
+	var cells []cell
 	for _, ber := range c.faultBERs() {
 		for _, protected := range []bool{true, false} {
-			pt, err := c.faultPoint(spec, ber, protected, &sum)
-			if err != nil {
-				return nil, sum, fmt.Errorf("fault campaign ber=%g protected=%v: %w", ber, protected, err)
-			}
-			points = append(points, pt)
+			cells = append(cells, cell{ber, protected})
 		}
+	}
+	points := make([]FaultPoint, len(cells))
+	facts := make([]faultFacts, len(cells))
+	err := par.ForEachErr(c.sweepWorkers(), len(cells), func(i int) error {
+		pt, ff, err := c.faultPoint(spec, cells[i].ber, cells[i].protected)
+		if err != nil {
+			return fmt.Errorf("fault campaign ber=%g protected=%v: %w", cells[i].ber, cells[i].protected, err)
+		}
+		points[i] = pt
+		facts[i] = ff
+		return nil
+	})
+	if err != nil {
+		return nil, sum, err
+	}
+	// Words and ServiceNs are measured before any injection, so every
+	// cell reports the same values; record the first cell's.
+	if len(facts) > 0 {
+		sum.Words = facts[0].words
+		sum.ServiceNs = facts[0].serviceNs
 	}
 	return points, sum, nil
 }
 
+// faultFacts are the injection-independent measurements a campaign cell
+// makes on its clean device (identical across cells).
+type faultFacts struct {
+	words     int64
+	serviceNs float64
+}
+
 // faultPoint runs one campaign cell on a fresh device.
-func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *FaultSummary) (FaultPoint, error) {
+func (c Config) faultPoint(spec nn.Model, ber float64, protected bool) (FaultPoint, faultFacts, error) {
 	dcfg := c.dramConfig(c.Banks, true)
 	opts := host.Newton()
 	opts.Verify = c.Verify
+	opts.Parallel = c.hostParallel()
 	ctrl, err := host.NewController(dcfg, opts)
 	if err != nil {
-		return FaultPoint{}, err
+		return FaultPoint{}, faultFacts{}, err
 	}
 	pm, err := nn.PlaceModel(ctrl, spec, c.Seed)
 	if err != nil {
-		return FaultPoint{}, err
+		return FaultPoint{}, faultFacts{}, err
 	}
 	chs := controllerChannels(ctrl, dcfg.Geometry.Channels)
 
@@ -178,7 +210,7 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 		for _, p := range pm.Placements {
 			st, err := fault.NewStore(p, chs)
 			if err != nil {
-				return FaultPoint{}, err
+				return FaultPoint{}, faultFacts{}, err
 			}
 			stores = append(stores, st)
 		}
@@ -187,18 +219,17 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 	for _, p := range pm.Placements {
 		a, err := fault.Audit(p, chs)
 		if err != nil {
-			return FaultPoint{}, err
+			return FaultPoint{}, faultFacts{}, err
 		}
 		words += a.Words
 	}
-	sum.Words = words
 
 	input := c.inputFor(spec.InputWidth()).Float32Slice()
 	golden, err := nn.Run(ctrl, pm, input, 0)
 	if err != nil {
-		return FaultPoint{}, err
+		return FaultPoint{}, faultFacts{}, err
 	}
-	sum.ServiceNs = float64(golden.Cycles)
+	ff := faultFacts{words: words, serviceNs: float64(golden.Cycles)}
 
 	pt := FaultPoint{BER: ber, Protected: protected}
 	inj := fault.NewInjector(fault.Params{
@@ -209,7 +240,7 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 	for _, p := range pm.Placements {
 		rep, err := inj.Expose(p, chs)
 		if err != nil {
-			return FaultPoint{}, err
+			return FaultPoint{}, faultFacts{}, err
 		}
 		pt.Injected += rep.FlippedBits
 		pt.WordsTouched += rep.WordsTouched
@@ -219,7 +250,7 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 		for i, p := range pm.Placements {
 			srep, err := ctrl.ScrubECC(p, stores[i])
 			if err != nil {
-				return FaultPoint{}, err
+				return FaultPoint{}, faultFacts{}, err
 			}
 			pt.Corrected += srep.Corrected
 			pt.Detected += srep.Detected
@@ -230,7 +261,7 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 	for _, p := range pm.Placements {
 		a, err := fault.Audit(p, chs)
 		if err != nil {
-			return FaultPoint{}, err
+			return FaultPoint{}, faultFacts{}, err
 		}
 		pt.SDCWords += a.BadWords
 		pt.SDCBits += a.BadBits
@@ -238,12 +269,12 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool, sum *Faul
 
 	faulted, err := nn.Run(ctrl, pm, input, 0)
 	if err != nil {
-		return FaultPoint{}, err
+		return FaultPoint{}, faultFacts{}, err
 	}
 	pt.RelL2 = fault.RelL2(faulted.Output, golden.Output)
 	pt.MaxULP = fault.MaxULP32(faulted.Output, golden.Output)
 	pt.Availability = c.faultAvailability(pt, words, float64(golden.Cycles))
-	return pt, nil
+	return pt, ff, nil
 }
 
 // faultAvailability models the serve-layer consequence of this cell's

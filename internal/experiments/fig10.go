@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"newton/internal/model"
+	"newton/internal/par"
 )
 
 // Fig10BankCounts are the bank-sensitivity design points.
@@ -25,28 +26,35 @@ type Fig10Row struct {
 // overheads) dampens the gain.
 func (c Config) Fig10() ([]Fig10Row, []float64, []float64, error) {
 	g := c.gpuModel()
-	var rows []Fig10Row
-	perBank := make([][]float64, len(Fig10BankCounts))
 	predicted := make([]float64, len(Fig10BankCounts))
 	for i, banks := range Fig10BankCounts {
 		predicted[i] = model.FromConfig(c.dramConfig(banks, true)).Speedup()
 	}
-	for _, b := range c.benchmarks() {
-		row := Fig10Row{Name: b.Name}
+	benches := c.benchmarks()
+	rows := make([]Fig10Row, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(j int) error {
+		b := benches[j]
+		row := Fig10Row{Name: b.Name, Speedups: make([]float64, len(Fig10BankCounts))}
 		gput := g.LayerTime(b.Rows, b.Cols)
 		for i, banks := range Fig10BankCounts {
 			res, err := c.runNewtonVariant(b, c.paperNewton(), true, banks)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("fig10 %s %d banks: %w", b.Name, banks, err)
+				return fmt.Errorf("fig10 %s %d banks: %w", b.Name, banks, err)
 			}
-			sp := gput / float64(res.Cycles)
-			row.Speedups = append(row.Speedups, sp)
-			perBank[i] = append(perBank[i], sp)
+			row.Speedups[i] = gput / float64(res.Cycles)
 		}
-		rows = append(rows, row)
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	means := make([]float64, len(Fig10BankCounts))
-	for i, vs := range perBank {
+	for i := range Fig10BankCounts {
+		vs := make([]float64, len(rows))
+		for j, r := range rows {
+			vs[j] = r.Speedups[i]
+		}
 		means[i] = GeoMean(vs)
 	}
 	return rows, means, predicted, nil

@@ -5,6 +5,7 @@ import (
 
 	"newton/internal/host"
 	"newton/internal/layout"
+	"newton/internal/par"
 )
 
 // Fig11Batches are the batch sizes of the Ideal-Non-PIM comparison.
@@ -35,23 +36,25 @@ type BatchRow struct {
 func (c Config) batchStudy(batches []int, idealBaseline bool) ([]BatchRow, error) {
 	g := c.gpuModel()
 	maxBatch := batches[len(batches)-1]
-	var rows []BatchRow
-	for _, b := range c.benchmarks() {
+	benches := c.benchmarks()
+	rows := make([]BatchRow, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(i int) error {
+		b := benches[i]
 		ctrl, err := host.NewController(c.dramConfig(c.Banks, true), c.paperNewton())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
 		p, err := ctrl.Place(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v := c.inputFor(b.Cols)
 		start := ctrl.Now()
 		newtonAt := make(map[int]int64, len(batches))
 		for k := 1; k <= maxBatch; k++ {
 			if _, err := ctrl.RunMVM(p, v); err != nil {
-				return nil, fmt.Errorf("batch study %s input %d: %w", b.Name, k, err)
+				return fmt.Errorf("batch study %s input %d: %w", b.Name, k, err)
 			}
 			newtonAt[k] = ctrl.Now() - start
 		}
@@ -60,7 +63,7 @@ func (c Config) batchStudy(batches []int, idealBaseline bool) ([]BatchRow, error
 		if idealBaseline {
 			ideal, err := c.runIdeal(b, c.Banks)
 			if err != nil {
-				return nil, fmt.Errorf("batch study %s ideal: %w", b.Name, err)
+				return fmt.Errorf("batch study %s ideal: %w", b.Name, err)
 			}
 			// The ideal host's infinite compute exploits all batch
 			// reuse: the matrix streams once regardless of k.
@@ -77,7 +80,11 @@ func (c Config) batchStudy(batches []int, idealBaseline bool) ([]BatchRow, error
 				row.Baseline = append(row.Baseline, float64(k)*gpu1/g.KernelTime(b.Rows, b.Cols, k))
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"newton/internal/par"
 	"newton/internal/power"
 )
 
@@ -27,27 +28,35 @@ type Fig13Row struct {
 // lower total energy.
 func (c Config) Fig13() ([]Fig13Row, float64, error) {
 	coef := power.Default()
-	var rows []Fig13Row
-	var powers []float64
-	for _, b := range c.benchmarks() {
+	benches := c.benchmarks()
+	rows := make([]Fig13Row, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(i int) error {
+		b := benches[i]
 		cfg := c.dramConfig(c.Banks, true)
 		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
 		if err != nil {
-			return nil, 0, fmt.Errorf("fig13 %s: %w", b.Name, err)
+			return fmt.Errorf("fig13 %s: %w", b.Name, err)
 		}
 		ideal, err := c.runIdeal(b, c.Banks)
 		if err != nil {
-			return nil, 0, fmt.Errorf("fig13 %s ideal: %w", b.Name, err)
+			return fmt.Errorf("fig13 %s ideal: %w", b.Name, err)
 		}
 		np := power.Newton(coef, cfg, newton)
 		ip := power.ConventionalDRAM(coef, cfg, ideal)
-		rows = append(rows, Fig13Row{
+		rows[i] = Fig13Row{
 			Name:            b.Name,
 			AvgPower:        np.AvgPower,
 			ComputeFraction: np.ComputeFraction,
 			EnergyRatio:     np.Energy / ip.Energy,
-		})
-		powers = append(powers, np.AvgPower)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	powers := make([]float64, len(rows))
+	for i, r := range rows {
+		powers[i] = r.AvgPower
 	}
 	return rows, GeoMean(powers), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"newton/internal/host"
 	"newton/internal/nn"
+	"newton/internal/par"
 	"newton/internal/workloads"
 )
 
@@ -24,22 +25,24 @@ type Fig8LayerRow struct {
 // geometric means the paper quotes (54x, 1.48x, 5.4x).
 func (c Config) Fig8Layers() ([]Fig8LayerRow, Fig8Summary, error) {
 	g := c.gpuModel()
-	var rows []Fig8LayerRow
-	for _, b := range c.benchmarks() {
+	benches := c.benchmarks()
+	rows := make([]Fig8LayerRow, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(i int) error {
+		b := benches[i]
 		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
 		if err != nil {
-			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s newton: %w", b.Name, err)
+			return fmt.Errorf("fig8 %s newton: %w", b.Name, err)
 		}
 		nonopt, err := c.runNewtonVariant(b, host.NonOpt(), false, c.Banks)
 		if err != nil {
-			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s non-opt: %w", b.Name, err)
+			return fmt.Errorf("fig8 %s non-opt: %w", b.Name, err)
 		}
 		ideal, err := c.runIdeal(b, c.Banks)
 		if err != nil {
-			return nil, Fig8Summary{}, fmt.Errorf("fig8 %s ideal: %w", b.Name, err)
+			return fmt.Errorf("fig8 %s ideal: %w", b.Name, err)
 		}
 		gput := g.LayerTime(b.Rows, b.Cols)
-		rows = append(rows, Fig8LayerRow{
+		rows[i] = Fig8LayerRow{
 			Name:         b.Name,
 			NewtonCycles: newton.Cycles,
 			NonOptCycles: nonopt.Cycles,
@@ -48,7 +51,11 @@ func (c Config) Fig8Layers() ([]Fig8LayerRow, Fig8Summary, error) {
 			Newton:       gput / float64(newton.Cycles),
 			NonOpt:       gput / float64(nonopt.Cycles),
 			Ideal:        gput / float64(ideal.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Fig8Summary{}, err
 	}
 	return rows, summarizeFig8(rows), nil
 }
@@ -117,23 +124,25 @@ type Fig8E2ERow struct {
 // refresh interference included.
 func (c Config) Fig8EndToEnd() ([]Fig8E2ERow, float64, error) {
 	g := c.gpuModel()
-	var rows []Fig8E2ERow
-	for _, spec := range workloads.EndToEnd() {
+	specs := workloads.EndToEnd()
+	rows := make([]Fig8E2ERow, len(specs))
+	err := par.ForEachErr(c.sweepWorkers(), len(specs), func(i int) error {
+		spec := specs[i]
 		ctrl, err := host.NewController(c.dramConfig(c.Banks, true), c.paperNewton())
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		pm, err := nn.PlaceModel(ctrl, spec, c.Seed)
 		if err != nil {
-			return nil, 0, fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
+			return fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
 		}
 		input := make([]float32, spec.InputWidth())
-		for i := range input {
-			input[i] = float32(i%7)/7 - 0.5
+		for j := range input {
+			input[j] = float32(j%7)/7 - 0.5
 		}
 		run, err := nn.Run(ctrl, pm, input, c.paperNewton().NormExposureCycles)
 		if err != nil {
-			return nil, 0, fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
+			return fmt.Errorf("fig8 e2e %s: %w", spec.Name, err)
 		}
 		// GPU end-to-end: FC layers on the model, plus the compute-bound
 		// conv fraction that runs identically in both systems.
@@ -144,13 +153,17 @@ func (c Config) Fig8EndToEnd() ([]Fig8E2ERow, float64, error) {
 		gpuTotal := gpuFC / (1 - spec.ConvFraction)
 		conv := gpuTotal - gpuFC
 		newtonTotal := float64(run.Cycles) + conv
-		rows = append(rows, Fig8E2ERow{
+		rows[i] = Fig8E2ERow{
 			Name:         spec.Name,
 			NewtonCycles: newtonTotal,
 			GPUCycles:    gpuTotal,
 			Refreshes:    run.Refreshes,
 			Speedup:      gpuTotal / newtonTotal,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	var all []float64
 	for _, r := range rows {

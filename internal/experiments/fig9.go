@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"newton/internal/host"
+	"newton/internal/par"
 )
 
 // Fig9Step names one cumulative design point of the ablation.
@@ -55,24 +56,31 @@ type Fig9Row struct {
 func (c Config) Fig9() ([]Fig9Row, []float64, error) {
 	steps := Fig9Steps()
 	g := c.gpuModel()
-	var rows []Fig9Row
-	perStep := make([][]float64, len(steps))
-	for _, b := range c.benchmarks() {
-		row := Fig9Row{Name: b.Name}
+	benches := c.benchmarks()
+	rows := make([]Fig9Row, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(j int) error {
+		b := benches[j]
+		row := Fig9Row{Name: b.Name, Speedups: make([]float64, len(steps))}
 		gput := g.LayerTime(b.Rows, b.Cols)
 		for i, st := range steps {
 			res, err := c.runNewtonVariant(b, st.Opts, st.AggressiveTFAW, c.Banks)
 			if err != nil {
-				return nil, nil, fmt.Errorf("fig9 %s %s: %w", b.Name, st.Label, err)
+				return fmt.Errorf("fig9 %s %s: %w", b.Name, st.Label, err)
 			}
-			sp := gput / float64(res.Cycles)
-			row.Speedups = append(row.Speedups, sp)
-			perStep[i] = append(perStep[i], sp)
+			row.Speedups[i] = gput / float64(res.Cycles)
 		}
-		rows = append(rows, row)
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	means := make([]float64, len(steps))
-	for i, vs := range perStep {
+	for i := range steps {
+		vs := make([]float64, len(rows))
+		for j, r := range rows {
+			vs[j] = r.Speedups[i]
+		}
 		means[i] = GeoMean(vs)
 	}
 	return rows, means, nil

@@ -5,6 +5,7 @@ import (
 
 	"newton/internal/host"
 	"newton/internal/model"
+	"newton/internal/par"
 )
 
 // ModelValidationRow compares the §III-F analytic model's prediction
@@ -22,23 +23,29 @@ type ModelValidationRow struct {
 // and buffer-load effects, which the simulator includes).
 func (c Config) ModelValidation() ([]ModelValidationRow, error) {
 	predicted := model.FromConfig(c.dramConfig(c.Banks, true)).Speedup()
-	var rows []ModelValidationRow
-	for _, b := range c.benchmarks() {
+	benches := c.benchmarks()
+	rows := make([]ModelValidationRow, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(i int) error {
+		b := benches[i]
 		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
 		if err != nil {
-			return nil, fmt.Errorf("model validation %s: %w", b.Name, err)
+			return fmt.Errorf("model validation %s: %w", b.Name, err)
 		}
 		ideal, err := c.runIdeal(b, c.Banks)
 		if err != nil {
-			return nil, fmt.Errorf("model validation %s ideal: %w", b.Name, err)
+			return fmt.Errorf("model validation %s ideal: %w", b.Name, err)
 		}
 		measured := float64(ideal.Cycles) / float64(newton.Cycles)
-		rows = append(rows, ModelValidationRow{
+		rows[i] = ModelValidationRow{
 			Name:      b.Name,
 			Predicted: predicted,
 			Measured:  measured,
 			ErrorPct:  100 * (measured - predicted) / predicted,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -78,21 +85,23 @@ type NoReuseRow struct {
 // row set, and the input-traffic rise far exceeds the output-traffic
 // fall.
 func (c Config) NoReuse() ([]NoReuseRow, error) {
-	var rows []NoReuseRow
-	for _, b := range c.benchmarks() {
+	benches := c.benchmarks()
+	rows := make([]NoReuseRow, len(benches))
+	err := par.ForEachErr(c.sweepWorkers(), len(benches), func(i int) error {
+		b := benches[i]
 		newton, err := c.runNewtonVariant(b, c.paperNewton(), true, c.Banks)
 		if err != nil {
-			return nil, fmt.Errorf("no-reuse %s: %w", b.Name, err)
+			return fmt.Errorf("no-reuse %s: %w", b.Name, err)
 		}
 		nr, err := c.runNewtonVariant(b, c.paperVariant(host.NoReuse()), true, c.Banks)
 		if err != nil {
-			return nil, fmt.Errorf("no-reuse %s variant: %w", b.Name, err)
+			return fmt.Errorf("no-reuse %s variant: %w", b.Name, err)
 		}
 		quad, err := c.runNewtonVariant(b, c.paperVariant(host.QuadLatch()), true, c.Banks)
 		if err != nil {
-			return nil, fmt.Errorf("quad-latch %s variant: %w", b.Name, err)
+			return fmt.Errorf("quad-latch %s variant: %w", b.Name, err)
 		}
-		rows = append(rows, NoReuseRow{
+		rows[i] = NoReuseRow{
 			Name:              b.Name,
 			NewtonCycles:      newton.Cycles,
 			NoReuseCycles:     nr.Cycles,
@@ -100,7 +109,11 @@ func (c Config) NoReuse() ([]NoReuseRow, error) {
 			Slowdown:          float64(nr.Cycles) / float64(newton.Cycles),
 			InputBytesNewton:  newton.Stats.BytesWritten,
 			InputBytesNoReuse: nr.Stats.BytesWritten,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -9,6 +9,7 @@ import (
 	"newton/internal/conformance"
 	"newton/internal/dram"
 	"newton/internal/layout"
+	"newton/internal/par"
 )
 
 // Controller is the host memory controller driving Newton channels. It
@@ -37,6 +38,10 @@ type Controller struct {
 	// verify, when Options.Verify is set, holds the per-channel
 	// conformance checkers tapping every engine's command stream.
 	verify *conformance.Suite
+	// actScratch is each channel's reusable activation-command buffer
+	// (overlapLoadActivate builds one per tile). Indexed by channel, so
+	// parallel channel goroutines never share a slice.
+	actScratch [][]dram.Command
 }
 
 // NewController builds a controller and its channels.
@@ -50,6 +55,7 @@ func NewController(cfg dram.Config, opts Options) (*Controller, error) {
 		engines:     make([]*aim.Engine, cfg.Geometry.Channels),
 		now:         make([]int64, cfg.Geometry.Channels),
 		nextRefresh: make([]int64, cfg.Geometry.Channels),
+		actScratch:  make([][]dram.Command, cfg.Geometry.Channels),
 	}
 	c.rows = addr.NewRowAllocator(cfg.Geometry.Rows)
 	if opts.Verify {
@@ -171,10 +177,66 @@ type Result struct {
 	PerChannelCycles []int64
 }
 
+// runInput is one RunMVM's precomputed input: every chunk's padded
+// vector and its wire encoding, derived once and shared read-only by
+// all channel goroutines. The serial schedule used to re-derive and
+// re-encode the chunk per (channel, tile) visit; hoisting it both kills
+// those allocations and makes the shared data immutable, which is what
+// lets channels run concurrently without copies.
+type runInput struct {
+	lanes int
+	vecs  []bf16.Vector // per chunk, padded to ChunkElems
+	enc   [][]byte      // per chunk, the vector in little-endian wire form
+}
+
+// newRunInput precomputes every chunk of v for one run.
+func newRunInput(p *layout.Placement, v bf16.Vector, lanes int) (*runInput, error) {
+	ri := &runInput{
+		lanes: lanes,
+		vecs:  make([]bf16.Vector, p.NumChunks()),
+		enc:   make([][]byte, p.NumChunks()),
+	}
+	for chunk := range ri.vecs {
+		cv, err := p.ChunkVector(v, chunk)
+		if err != nil {
+			return nil, err
+		}
+		ri.vecs[chunk] = cv
+		ri.enc[chunk] = cv.Bytes()
+	}
+	return ri, nil
+}
+
+// slotData returns the wire bytes a GWRITE carries for one sub-chunk
+// slot. Callers must treat the slice as read-only: it aliases the
+// run-wide encoding shared by every channel.
+func (ri *runInput) slotData(chunk, slot int) []byte {
+	return ri.enc[chunk][2*slot*ri.lanes : 2*(slot+1)*ri.lanes]
+}
+
+// workers resolves the worker-pool size for one run. A Trace hook
+// forces the serial path: the hook is a single callback shared by all
+// channels, and its callers (fault transient injection, newton-trace)
+// depend on one deterministic global command order.
+func (c *Controller) workers() int {
+	if c.Trace != nil {
+		return 1
+	}
+	return c.opts.Workers()
+}
+
 // RunMVM executes one matrix-vector product on the placed matrix. All
 // channels run in parallel on their shards of matrix rows; the run ends
 // when the slowest channel finishes, and channel clocks resynchronize at
 // that point (the product is needed in full before dependent work).
+//
+// Channels run concurrently in hardware, and the simulator exploits the
+// same share-nothing structure: each channel's goroutine touches only
+// its own engine, clock, refresh deadline, scratch and conformance
+// checker, reads the shared runInput, and writes a disjoint set of out
+// rows (TestParallelOutputRowsDisjoint pins the row partition), so a
+// parallel run is byte-identical to the serial reference at any worker
+// count.
 func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error) {
 	if p.Geometry() != c.cfg.Geometry {
 		return nil, fmt.Errorf("host: placement geometry differs from controller geometry")
@@ -187,6 +249,10 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 	if len(v) != m.Cols {
 		return nil, fmt.Errorf("host: input vector length %d, matrix has %d columns", len(v), m.Cols)
 	}
+	ri, err := newRunInput(p, v, c.cfg.Geometry.ColBits/16)
+	if err != nil {
+		return nil, err
+	}
 
 	start := c.Now()
 	before := c.Stats()
@@ -194,15 +260,17 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 	res := &Result{Output: out, StartCycle: start,
 		PerChannelCycles: make([]int64, len(c.engines))}
 
-	for ch := range c.engines {
-		// Channels run concurrently in hardware; simulating them one
-		// after another is exact because they share no state.
+	err = par.ForEachErr(c.workers(), len(c.engines), func(ch int) error {
 		c.now[ch] = start
-		finish, err := c.runChannel(ch, p, v, out)
+		finish, err := c.runChannel(ch, p, ri, out)
 		if err != nil {
-			return nil, fmt.Errorf("host: channel %d: %w", ch, err)
+			return fmt.Errorf("host: channel %d: %w", ch, err)
 		}
 		res.PerChannelCycles[ch] = finish - start
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	end := c.Now()
@@ -280,11 +348,9 @@ func (c *Controller) colIOs(p *layout.Placement, chunk int) int {
 // loadGlobalBuffer GWRITEs the chunk's live slots into the channel's
 // global buffer, serialized before the activations as the paper's
 // controller does.
-func (c *Controller) loadGlobalBuffer(ch int, chunkVec bf16.Vector, slots int) error {
-	lanes := c.cfg.Geometry.ColBits / 16
+func (c *Controller) loadGlobalBuffer(ch int, ri *runInput, chunk, slots int) error {
 	for s := 0; s < slots; s++ {
-		data := chunkVec[s*lanes : (s+1)*lanes].Bytes()
-		if _, err := c.issue(ch, dram.Command{Kind: dram.KindGWRITE, Col: s, Data: data}); err != nil {
+		if _, err := c.issue(ch, dram.Command{Kind: dram.KindGWRITE, Col: s, Data: ri.slotData(chunk, s)}); err != nil {
 			return err
 		}
 	}
@@ -295,14 +361,14 @@ func (c *Controller) loadGlobalBuffer(ch int, chunkVec bf16.Vector, slots int) e
 // bank. With OverlapBufferLoad it interleaves the column-bus GWRITEs
 // with the row-bus activations, issuing whichever is legal earlier;
 // otherwise it serializes them, as the paper's controller does.
-func (c *Controller) loadBufferAndActivate(ch int, chunkVec bf16.Vector, slots, dramRow int) error {
+func (c *Controller) loadBufferAndActivate(ch int, ri *runInput, chunk, slots, dramRow int) error {
 	if !c.opts.OverlapBufferLoad {
-		if err := c.loadGlobalBuffer(ch, chunkVec, slots); err != nil {
+		if err := c.loadGlobalBuffer(ch, ri, chunk, slots); err != nil {
 			return err
 		}
 		return c.activateRow(ch, dramRow)
 	}
-	return c.overlapLoadActivate(ch, chunkVec, slots, dramRow)
+	return c.overlapLoadActivate(ch, ri, chunk, slots, dramRow)
 }
 
 // overlapLoadActivate overlaps the global-buffer load (column-bus
@@ -312,9 +378,8 @@ func (c *Controller) loadBufferAndActivate(ch int, chunkVec bf16.Vector, slots, 
 // treats activation overhead as exposed once per tile; the buffer load,
 // which this overlap hides under, is outside that model. Commands issue
 // in earliest-first order, activations winning ties.
-func (c *Controller) overlapLoadActivate(ch int, chunkVec bf16.Vector, slots, dramRow int) error {
-	lanes := c.cfg.Geometry.ColBits / 16
-	var acts []dram.Command
+func (c *Controller) overlapLoadActivate(ch int, ri *runInput, chunk, slots, dramRow int) error {
+	acts := c.actScratch[ch][:0]
 	if c.opts.GangedActivation {
 		for cl := 0; cl < c.cfg.Geometry.Clusters(); cl++ {
 			acts = append(acts, dram.Command{Kind: dram.KindGACT, Cluster: cl, Row: dramRow})
@@ -324,21 +389,20 @@ func (c *Controller) overlapLoadActivate(ch int, chunkVec bf16.Vector, slots, dr
 			acts = append(acts, dram.Command{Kind: dram.KindACT, Bank: b, Row: dramRow})
 		}
 	}
+	c.actScratch[ch] = acts
 	slot := 0
 	for len(acts) > 0 || slot < slots {
 		var next dram.Command
 		switch {
 		case len(acts) == 0:
-			next = dram.Command{Kind: dram.KindGWRITE, Col: slot,
-				Data: chunkVec[slot*lanes : (slot+1)*lanes].Bytes()}
+			next = dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)}
 			slot++
 		case slot >= slots:
 			next = acts[0]
 			acts = acts[1:]
 		default:
 			actAt := c.engines[ch].EarliestIssue(acts[0], c.now[ch])
-			gw := dram.Command{Kind: dram.KindGWRITE, Col: slot,
-				Data: chunkVec[slot*lanes : (slot+1)*lanes].Bytes()}
+			gw := dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)}
 			if gwAt := c.engines[ch].EarliestIssue(gw, c.now[ch]); gwAt < actAt {
 				next = gw
 				slot++
@@ -451,38 +515,35 @@ func (c *Controller) estimateTile(slots int, withBufferLoad bool) int64 {
 }
 
 // runChannel executes the channel's shard of the product and returns the
-// channel's finish cycle. out receives this channel's matrix rows.
-func (c *Controller) runChannel(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+// channel's finish cycle. out receives this channel's matrix rows; no
+// other channel writes them, so the channel goroutines never contend.
+func (c *Controller) runChannel(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	switch {
 	case c.opts.Reuse:
-		return c.runChannelInterleaved(ch, p, v, out)
+		return c.runChannelInterleaved(ch, p, ri, out)
 	case c.opts.Latches() > 1:
-		return c.runChannelQuadLatch(ch, p, v, out)
+		return c.runChannelQuadLatch(ch, p, ri, out)
 	default:
-		return c.runChannelRowMajor(ch, p, v, out)
+		return c.runChannelRowMajor(ch, p, ri, out)
 	}
 }
 
 // runChannelInterleaved is Algorithm 1: hold one input chunk in the
 // global buffer and sweep it down all the channel's tiles (column-major
 // tile traversal), reading one partial output element per bank per tile.
-func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
 	}
 	for chunk := 0; chunk < p.NumChunks(); chunk++ {
-		chunkVec, err := p.ChunkVector(v, chunk)
-		if err != nil {
-			return 0, err
-		}
 		slots := c.colIOs(p, chunk)
 		est := c.estimateTile(slots, false)
 		if err := c.maybeRefresh(ch, est+int64(slots)*c.cfg.Timing.CmdSlot); err != nil {
 			return 0, err
 		}
 		// The chunk's buffer load overlaps the first tile's activations.
-		if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, 0)); err != nil {
+		if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, 0)); err != nil {
 			return 0, err
 		}
 		for lt := 0; lt < ct; lt++ {
@@ -524,7 +585,7 @@ func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, v bf16.V
 // result latches per bank, so one global-buffer load is reused among L
 // matrix rows per bank instead of one. The paper found it buys almost
 // nothing over full-reuse Newton and costs latch area.
-func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
@@ -536,10 +597,6 @@ func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, v bf16.Vec
 			size = latches
 		}
 		for chunk := 0; chunk < p.NumChunks(); chunk++ {
-			chunkVec, err := p.ChunkVector(v, chunk)
-			if err != nil {
-				return 0, err
-			}
 			slots := c.colIOs(p, chunk)
 			est := int64(size)*c.estimateTile(slots, false) + int64(slots)*c.cfg.Timing.CmdSlot
 			if err := c.maybeRefresh(ch, est); err != nil {
@@ -547,7 +604,7 @@ func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, v bf16.Vec
 			}
 			// One input fetch serves `size` matrix rows per bank, with
 			// the first row's activations overlapped under the fetch.
-			if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, g*latches)); err != nil {
+			if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, g*latches)); err != nil {
 				return 0, err
 			}
 			for r := 0; r < size; r++ {
@@ -586,17 +643,13 @@ func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, v bf16.Vec
 // tile traversal accumulates a full matrix row per bank (one READRES per
 // tile instead of one per DRAM row) but must re-fetch the input chunk
 // into the global buffer for every tile.
-func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, v bf16.Vector, out []float32) (int64, error) {
+func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
 	}
 	for lt := 0; lt < ct; lt++ {
 		for chunk := 0; chunk < p.NumChunks(); chunk++ {
-			chunkVec, err := p.ChunkVector(v, chunk)
-			if err != nil {
-				return 0, err
-			}
 			slots := c.colIOs(p, chunk)
 			if err := c.maybeRefresh(ch, c.estimateTile(slots, true)); err != nil {
 				return 0, err
@@ -604,7 +657,7 @@ func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, v bf16.Vect
 			// The input chunk is re-fetched for every tile - the traffic
 			// rise that makes this variant lose - with the activations
 			// overlapped under the re-fetch.
-			if err := c.loadBufferAndActivate(ch, chunkVec, slots, p.RowFor(ch, chunk, lt)); err != nil {
+			if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, lt)); err != nil {
 				return 0, err
 			}
 			if err := c.computeRow(ch, slots, 0); err != nil {

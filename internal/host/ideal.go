@@ -7,6 +7,7 @@ import (
 	"newton/internal/conformance"
 	"newton/internal/dram"
 	"newton/internal/layout"
+	"newton/internal/par"
 )
 
 // IdealNonPIM is the paper's upper bound on any non-PIM architecture
@@ -30,6 +31,13 @@ type IdealNonPIM struct {
 	// into a matrix-vector product (functional validation) or just
 	// models the transfer time. Timing is identical either way.
 	Compute bool
+
+	// Parallel has Options.Parallel's semantics: channels stream
+	// independently (per-channel clocks, refresh deadlines, bank state,
+	// disjoint output rows via the placement's inverse mapping), so
+	// RunMVM simulates them on a worker pool with byte-identical
+	// results. Zero = GOMAXPROCS, positive = cap, ParallelOff = serial.
+	Parallel int
 
 	// verify holds the per-channel conformance checkers when
 	// EnableVerify was called.
@@ -189,94 +197,18 @@ func (h *IdealNonPIM) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error
 	res := &Result{Output: out, StartCycle: start,
 		PerChannelCycles: make([]int64, len(h.chans))}
 
-	geo := h.cfg.Geometry
-	for ch := range h.chans {
+	workers := Options{Parallel: h.Parallel}.Workers()
+	err := par.ForEachErr(workers, len(h.chans), func(ch int) error {
 		h.now[ch] = start
-		ct := p.ChannelTiles(ch)
-		if ct == 0 {
-			res.PerChannelCycles[ch] = 0
-			continue
+		cycles, err := h.runChannel(ch, p, v, out, start)
+		if err != nil {
+			return err
 		}
-		rowsPerBank := ct * p.NumChunks()
-		type loc struct{ bank, row int }
-		// Stream bank-major within each DRAM row index so consecutive
-		// transfers come from different banks and the next activation
-		// hides under the current row's 32-column burst.
-		locs := make([]loc, 0, rowsPerBank*geo.Banks)
-		for r := 0; r < rowsPerBank; r++ {
-			for b := 0; b < geo.Banks; b++ {
-				locs = append(locs, loc{b, p.BaseRow() + r})
-			}
-		}
-		open := make([]bool, geo.Banks)
-		if _, err := h.maybeRefresh(ch, open); err != nil {
-			return nil, err
-		}
-		for i, lc := range locs {
-			// Open this location's row if the overlapped activation below
-			// did not already (first location, after a refresh, or with a
-			// single bank, where no overlap is possible).
-			if !open[lc.bank] {
-				if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: lc.bank, Row: lc.row}); err != nil {
-					return nil, err
-				}
-				open[lc.bank] = true
-			}
-			// Stream only the row's live matrix bytes: the ideal host is
-			// bounded by the matrix size, not by layout padding.
-			usedCols := p.UsedColIOs(p.ChunkOfRow(ch, lc.row))
-			for col := 0; col < usedCols; col++ {
-				r, err := h.issue(ch, dram.Command{Kind: dram.KindRD, Bank: lc.bank, Col: col})
-				if err != nil {
-					return nil, err
-				}
-				if h.Compute {
-					h.fold(p, ch, lc.bank, lc.row, col, r.Data, v, out)
-				}
-				switch col {
-				case 0:
-					// Close the previous location's bank on the row bus,
-					// hidden under this row's column burst.
-					if i > 0 {
-						if pv := locs[i-1]; pv.bank != lc.bank && open[pv.bank] {
-							if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: pv.bank}); err != nil {
-								return nil, err
-							}
-							open[pv.bank] = false
-						}
-					}
-				case 1:
-					// Overlap the next location's activation, likewise.
-					if i+1 < len(locs) {
-						if nx := locs[i+1]; nx.bank != lc.bank && !open[nx.bank] {
-							if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: nx.bank, Row: nx.row}); err != nil {
-								return nil, err
-							}
-							open[nx.bank] = true
-						}
-					}
-				}
-			}
-			if geo.Banks == 1 {
-				// No overlap possible: close before the next activation.
-				if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: lc.bank}); err != nil {
-					return nil, err
-				}
-				open[lc.bank] = false
-			}
-			if _, err := h.maybeRefresh(ch, open); err != nil {
-				return nil, err
-			}
-		}
-		for b, isOpen := range open {
-			if !isOpen {
-				continue
-			}
-			if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: b}); err != nil {
-				return nil, err
-			}
-		}
-		res.PerChannelCycles[ch] = h.now[ch] - start
+		res.PerChannelCycles[ch] = cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	end := h.Now()
@@ -287,6 +219,99 @@ func (h *IdealNonPIM) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error
 	res.Cycles = end - start
 	res.Stats = h.Stats().Diff(before)
 	return res, nil
+}
+
+// runChannel streams one channel's shard of the matrix and returns the
+// channel's busy duration. Like the Newton controller's channel bodies
+// it touches only per-channel state (clock, refresh deadline, bank
+// open/close tracking) and writes only the matrix rows the placement
+// assigns to this channel, so channels can stream concurrently.
+func (h *IdealNonPIM) runChannel(ch int, p *layout.Placement, v bf16.Vector, out []float32, start int64) (int64, error) {
+	geo := h.cfg.Geometry
+	ct := p.ChannelTiles(ch)
+	if ct == 0 {
+		return 0, nil
+	}
+	rowsPerBank := ct * p.NumChunks()
+	type loc struct{ bank, row int }
+	// Stream bank-major within each DRAM row index so consecutive
+	// transfers come from different banks and the next activation
+	// hides under the current row's 32-column burst.
+	locs := make([]loc, 0, rowsPerBank*geo.Banks)
+	for r := 0; r < rowsPerBank; r++ {
+		for b := 0; b < geo.Banks; b++ {
+			locs = append(locs, loc{b, p.BaseRow() + r})
+		}
+	}
+	open := make([]bool, geo.Banks)
+	if _, err := h.maybeRefresh(ch, open); err != nil {
+		return 0, err
+	}
+	for i, lc := range locs {
+		// Open this location's row if the overlapped activation below
+		// did not already (first location, after a refresh, or with a
+		// single bank, where no overlap is possible).
+		if !open[lc.bank] {
+			if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: lc.bank, Row: lc.row}); err != nil {
+				return 0, err
+			}
+			open[lc.bank] = true
+		}
+		// Stream only the row's live matrix bytes: the ideal host is
+		// bounded by the matrix size, not by layout padding.
+		usedCols := p.UsedColIOs(p.ChunkOfRow(ch, lc.row))
+		for col := 0; col < usedCols; col++ {
+			r, err := h.issue(ch, dram.Command{Kind: dram.KindRD, Bank: lc.bank, Col: col})
+			if err != nil {
+				return 0, err
+			}
+			if h.Compute {
+				h.fold(p, ch, lc.bank, lc.row, col, r.Data, v, out)
+			}
+			switch col {
+			case 0:
+				// Close the previous location's bank on the row bus,
+				// hidden under this row's column burst.
+				if i > 0 {
+					if pv := locs[i-1]; pv.bank != lc.bank && open[pv.bank] {
+						if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: pv.bank}); err != nil {
+							return 0, err
+						}
+						open[pv.bank] = false
+					}
+				}
+			case 1:
+				// Overlap the next location's activation, likewise.
+				if i+1 < len(locs) {
+					if nx := locs[i+1]; nx.bank != lc.bank && !open[nx.bank] {
+						if _, err := h.issue(ch, dram.Command{Kind: dram.KindACT, Bank: nx.bank, Row: nx.row}); err != nil {
+							return 0, err
+						}
+						open[nx.bank] = true
+					}
+				}
+			}
+		}
+		if geo.Banks == 1 {
+			// No overlap possible: close before the next activation.
+			if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: lc.bank}); err != nil {
+				return 0, err
+			}
+			open[lc.bank] = false
+		}
+		if _, err := h.maybeRefresh(ch, open); err != nil {
+			return 0, err
+		}
+	}
+	for b, isOpen := range open {
+		if !isOpen {
+			continue
+		}
+		if _, err := h.issue(ch, dram.Command{Kind: dram.KindPRE, Bank: b}); err != nil {
+			return 0, err
+		}
+	}
+	return h.now[ch] - start, nil
 }
 
 // fold accumulates the streamed column I/O into the host-side product

@@ -6,7 +6,11 @@
 // that perfectly streams the matrix over the external DRAM interface.
 package host
 
-import "newton/internal/layout"
+import (
+	"runtime"
+
+	"newton/internal/layout"
+)
 
 // Options selects which of Newton's optimizations are active. The zero
 // value is the fully de-optimized Non-opt-Newton of the paper's Fig. 8/9;
@@ -60,6 +64,31 @@ type Options struct {
 	// re-derives every constraint from the dram.Config on its own, so it
 	// catches scheduler bugs the channel's own checker would co-sign.
 	Verify bool
+	// Parallel controls how many channels RunMVM simulates concurrently.
+	// It is purely a simulator-speed knob: channels share no simulator
+	// state (paper §III — per-channel engines, clocks, refresh deadlines
+	// and observers), and each channel writes a disjoint set of output
+	// rows, so results, stats and conformance verdicts are byte-identical
+	// at any setting. Zero (the default) sizes the worker pool to
+	// GOMAXPROCS; a positive value caps it; ParallelOff forces the serial
+	// reference path. Runs with a Trace hook installed always execute
+	// serially so the hook observes one deterministic global order.
+	Parallel int
+}
+
+// ParallelOff disables parallel channel simulation (Options.Parallel).
+const ParallelOff = -1
+
+// Workers resolves the Parallel setting to a worker-pool size.
+func (o Options) Workers() int {
+	switch {
+	case o.Parallel == ParallelOff:
+		return 1
+	case o.Parallel > 0:
+		return o.Parallel
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
 }
 
 // AutoNormExposure asks the controller to derive the exposed

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices checks every index runs exactly once for
+// a spread of worker counts, including the inline serial path and
+// pools larger than the item count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			counts := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachErrReturnsLowestIndex checks the parallel pool reports the
+// same error the serial loop would: the lowest-indexed failure.
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	fail := func(i int) error {
+		if i == 3 || i == 11 {
+			return fmt.Errorf("item %d", i)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEachErr(workers, 16, fail)
+		if err == nil || err.Error() != "item 3" {
+			t.Errorf("workers=%d: got %v, want item 3", workers, err)
+		}
+	}
+}
+
+// TestForEachErrSerialStopsEarly checks the one-worker path preserves
+// the serial contract: items after the first error do not run.
+func TestForEachErrSerialStopsEarly(t *testing.T) {
+	var ran []int
+	sentinel := errors.New("stop")
+	err := ForEachErr(1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if len(ran) != 3 {
+		t.Errorf("serial path ran %v, want [0 1 2]", ran)
+	}
+}
+
+// TestForEachDeterministicResults checks the idiom every caller relies
+// on: item i writes slot i, so the assembled result is independent of
+// worker count and scheduling.
+func TestForEachDeterministicResults(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 32} {
+		got := make([]int, n)
+		ForEach(workers, n, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

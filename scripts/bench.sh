@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench.sh - the simulator's wall-clock performance gate:
+#   1. benchmark smoke: compile and run every Benchmark* once, so a
+#      broken or pathologically slow benchmark fails loudly;
+#   2. newton-bench -perf: measure serial-vs-parallel throughput
+#      (ns/op, allocs/op, simulated cycles per wall-second, speedup,
+#      bit-identity, conformance verdict) into BENCH_PR4.json;
+#   3. newton-bench -checkperf: validate the written report against the
+#      newton-bench-perf/v1 schema.
+#
+# Environment knobs:
+#   BENCH_OUT      report path            (default BENCH_PR4.json)
+#   BENCH_CHANNELS perf-mode channels     (default 24, the paper config)
+#   BENCH_SMOKE=0  skip step 1 (perf report only)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR4.json}"
+CHANNELS="${BENCH_CHANNELS:-24}"
+
+if [ "${BENCH_SMOKE:-1}" != "0" ]; then
+  echo "== benchmark smoke: go test -run=NONE -bench=. -benchtime=1x"
+  go test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+fi
+
+echo "== perf report: newton-bench -channels $CHANNELS -perf $OUT"
+go run ./cmd/newton-bench -channels "$CHANNELS" -perf "$OUT"
+
+echo "== schema check: newton-bench -checkperf $OUT"
+go run ./cmd/newton-bench -checkperf "$OUT"
+echo "ok"

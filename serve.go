@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"newton/internal/gpu"
+	"newton/internal/par"
 	"newton/internal/serve"
 )
 
@@ -186,10 +187,18 @@ func (c Config) NewServer(sc ServeConfig) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i, sub := range subs {
+		// Calibrating a backend simulates real batch runs on the shard's
+		// private channel partition, and shards share nothing (each gets
+		// its own sub-device config, matrices and calibration inputs from
+		// the seed), so the fleet calibrates on a worker pool. Indexed
+		// writes keep the shard order — and thus every downstream serving
+		// result — identical to the serial build.
+		shards := make([]serve.Shard, len(subs))
+		err = par.ForEachErr(0, len(subs), func(i int) error {
+			sub := subs[i]
 			dcfg, err := sub.dramConfig()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			own := map[int]serve.ModelShape{i: shapes[i]}
 			for _, j := range serves[i] {
@@ -197,7 +206,7 @@ func (c Config) NewServer(sc ServeConfig) (*Server, error) {
 			}
 			b, err := serve.NewNewtonBackend(dcfg, sub.hostOptions(), own, calibrate, sc.Seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sh := serve.Shard{
 				Name:    fmt.Sprintf("%s/%dch", sc.Models[i].Name, sub.Channels),
@@ -208,8 +217,13 @@ func (c Config) NewServer(sc ServeConfig) (*Server, error) {
 			if j := failTo[i]; j >= 0 {
 				sh.FailoverTo = fmt.Sprintf("%s/%dch", sc.Models[j].Name, subs[j].Channels)
 			}
-			srv.shards = append(srv.shards, sh)
+			shards[i] = sh
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		srv.shards = shards
 	}
 	return srv, nil
 }
