@@ -19,7 +19,7 @@ test:
 	go test ./...
 
 # Wall-clock performance gate: benchmark smoke over every Benchmark*,
-# then a serial-vs-parallel perf report written to BENCH_PR4.json and
+# then a serial-vs-parallel perf report written to BENCH_PR5.json and
 # schema-checked (see scripts/bench.sh for the knobs).
 bench:
 	./scripts/bench.sh

@@ -14,7 +14,10 @@
 // serial-vs-parallel throughput (ns/op, allocs/op, simulated cycles per
 // wall-second, speedup, bit-identity, conformance verdict) and writes a
 // newton-bench-perf/v1 JSON report; -checkperf FILE validates such a
-// report (CI runs it on BENCH_PR4.json). -serial forces the serial
+// report (CI runs it on the checked-in baseline). -chrometrace FILE runs
+// a conformance-verified fig9 ladder on a small layer and writes it as a
+// Chrome trace-event file for chrome://tracing or Perfetto (see
+// EXPERIMENTS.md for a walkthrough). -serial forces the serial
 // reference path for any figure; -cpuprofile/-memprofile capture pprof
 // profiles of whatever the invocation runs (see EXPERIMENTS.md for a
 // profiling walkthrough).
@@ -50,6 +53,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	perfOut := flag.String("perf", "", "measure serial-vs-parallel simulator throughput (ns/op, allocs/op, sim-cycles/wall-second, speedup, bit-identity, conformance) and write a "+PerfSchema+" JSON report to this file, then exit")
 	perfCheck := flag.String("checkperf", "", "validate a -perf JSON report against the "+PerfSchema+" schema, then exit")
+	chromeOut := flag.String("chrometrace", "", "run a conformance-verified fig9 ladder on a small layer and write it as a Chrome trace-event file (chrome://tracing, Perfetto) to this file, then exit")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -129,6 +133,23 @@ func main() {
 	cfg.Functional = *functional
 	cfg.Verify = *verify
 	cfg.Serial = *serial
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatalf("chrometrace: %v", err)
+		}
+		if err := cfg.ChromeTrace(f); err != nil {
+			f.Close()
+			fatalf("chrometrace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("chrometrace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *chromeOut)
+		stopProfiles()
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

@@ -15,12 +15,26 @@ import (
 	"newton/internal/experiments"
 	"newton/internal/host"
 	"newton/internal/layout"
+	"newton/internal/obs"
 	"newton/internal/workloads"
 )
 
 // PerfSchema tags the -perf report format; scripts/bench.sh and the CI
-// benchmark-smoke job validate reports against it with -checkperf.
-const PerfSchema = "newton-bench-perf/v1"
+// benchmark-smoke job validate reports against it with -checkperf. v2
+// adds the observability-overhead side (obs-on serial measurement and
+// its relative cost) and gates the obs-off allocation budgets.
+const PerfSchema = "newton-bench-perf/v2"
+
+// obsOffAllocBudgets pins the serial obs-off allocation cost of each MVM
+// workload (allocs per RunMVM with no registry attached), at the levels
+// the hot-path allocation purge reached. The nil-registry contract says
+// observability off must not move these; -checkperf fails if a report
+// shows more.
+var obsOffAllocBudgets = map[string]int64{
+	"GNMT-s1": 11,
+	"BERT-s2": 23,
+	"DLRM-s1": 9,
+}
 
 // PerfSide is one execution mode's measurement of a benchmark.
 type PerfSide struct {
@@ -46,9 +60,15 @@ type PerfEntry struct {
 	// outputs, cycle counts and DRAM stats matched the serial reference
 	// bit for bit.
 	Identical bool `json:"byte_identical"`
+	// Observed re-measures the serial side with a metrics registry and
+	// span tracer attached (zero for sweep benchmarks, which are not
+	// metered). ObsOverheadPct is its ns/op cost relative to the
+	// unobserved serial side, in percent.
+	Observed       PerfSide `json:"observed"`
+	ObsOverheadPct float64  `json:"obs_overhead_pct"`
 }
 
-// PerfReport is the BENCH_PR4.json payload: the simulator's wall-clock
+// PerfReport is the BENCH_PR5.json payload: the simulator's wall-clock
 // performance trajectory, measured from one code path.
 type PerfReport struct {
 	Schema     string `json:"schema"`
@@ -120,11 +140,17 @@ func mvmIdentical(s, p *host.Result) bool {
 }
 
 // measureMVM benchmarks repeated RunMVM on one controller and returns
-// the side plus the simulated cycles of the last op.
-func measureMVM(channels, banks int, seed int64, b workloads.Bench, parallel int) (PerfSide, int64, error) {
+// the side plus the simulated cycles of the last op. With observed set,
+// the controller publishes to a live registry and tracer throughout, so
+// the side prices the full metering path (counter updates, histogram
+// observes, span appends) rather than the nil-registry fast path.
+func measureMVM(channels, banks int, seed int64, b workloads.Bench, parallel int, observed bool) (PerfSide, int64, error) {
 	ctrl, p, v, err := mvmSetup(channels, banks, seed, b, parallel, false)
 	if err != nil {
 		return PerfSide{}, 0, err
+	}
+	if observed {
+		ctrl.Observe(obs.New(), &obs.Tracer{})
 	}
 	var cycles int64
 	var benchErr error
@@ -191,16 +217,24 @@ func perfEntryMVM(channels, banks int, seed int64, b workloads.Bench, rep *PerfR
 		rep.VerifyViolations += len(suite.Violations())
 	}
 
-	entry.Serial, entry.SimCycles, err = measureMVM(channels, banks, seed, b, host.ParallelOff)
+	entry.Serial, entry.SimCycles, err = measureMVM(channels, banks, seed, b, host.ParallelOff, false)
 	if err != nil {
 		return entry, err
 	}
-	entry.Parallel, _, err = measureMVM(channels, banks, seed, b, 0)
+	entry.Parallel, _, err = measureMVM(channels, banks, seed, b, 0, false)
 	if err != nil {
 		return entry, err
 	}
 	if entry.Parallel.NsPerOp > 0 {
 		entry.Speedup = float64(entry.Serial.NsPerOp) / float64(entry.Parallel.NsPerOp)
+	}
+	entry.Observed, _, err = measureMVM(channels, banks, seed, b, host.ParallelOff, true)
+	if err != nil {
+		return entry, err
+	}
+	if entry.Serial.NsPerOp > 0 {
+		entry.ObsOverheadPct = 100 * (float64(entry.Observed.NsPerOp) - float64(entry.Serial.NsPerOp)) /
+			float64(entry.Serial.NsPerOp)
 	}
 	return entry, nil
 }
@@ -305,9 +339,13 @@ func runPerf(channels, banks int, seed int64, path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	for _, e := range rep.Benchmarks {
-		fmt.Printf("%-12s serial %12d ns/op (%d allocs)  parallel %12d ns/op (%d allocs)  speedup %.2fx  identical=%v\n",
+		fmt.Printf("%-12s serial %12d ns/op (%d allocs)  parallel %12d ns/op (%d allocs)  speedup %.2fx  identical=%v",
 			e.Name, e.Serial.NsPerOp, e.Serial.AllocsPerOp,
 			e.Parallel.NsPerOp, e.Parallel.AllocsPerOp, e.Speedup, e.Identical)
+		if e.Observed.NsPerOp > 0 {
+			fmt.Printf("  obs-overhead %+.1f%%", e.ObsOverheadPct)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("conformance: %d commands checked, %d violations (gomaxprocs=%d, cpus=%d)\n",
 		rep.VerifyCommands, rep.VerifyViolations, rep.GOMAXPROCS, rep.CPUs)
@@ -347,6 +385,15 @@ func checkPerf(path string) error {
 		}
 		if !e.Identical {
 			return fmt.Errorf("%s: %s failed the serial/parallel identity check", path, e.Name)
+		}
+		if budget, ok := obsOffAllocBudgets[e.Name]; ok {
+			if e.Serial.AllocsPerOp > budget {
+				return fmt.Errorf("%s: %s obs-off serial allocs/op = %d, budget is %d (the nil-registry hot path regressed)",
+					path, e.Name, e.Serial.AllocsPerOp, budget)
+			}
+			if e.Observed.NsPerOp <= 0 {
+				return fmt.Errorf("%s: %s is missing the observed (obs-on) measurement", path, e.Name)
+			}
 		}
 	}
 	if rep.VerifyViolations != 0 {

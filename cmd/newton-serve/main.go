@@ -28,12 +28,17 @@
 //	  -trace FILE                replay a trace file instead of Poisson arrivals
 //	  -record FILE               write the generated arrivals to a trace file
 //	  -hist                      print a latency histogram per run
+//	  -listen ADDR               serve /metrics, /snapshot and /debug/pprof/*
+//	                             on ADDR during the runs and block afterwards
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -62,11 +67,22 @@ func main() {
 	traceFile := flag.String("trace", "", "replay this arrival trace instead of Poisson streams")
 	record := flag.String("record", "", "write generated arrivals to this trace file")
 	hist := flag.Bool("hist", false, "print a latency histogram per run")
+	listen := flag.String("listen", "", "serve /metrics, /snapshot and /debug/pprof/* on this address (blocks after the runs)")
 	flag.Parse()
 
 	cfg := newton.DefaultConfig()
 	cfg.Channels = *channels
 	cfg.Banks = *banks
+
+	// With -listen, every fleet shares one registry and tracer; the
+	// exposition is live while the runs execute and stays up afterwards
+	// so the final counters and spans can be scraped or inspected.
+	var reg *newton.ObsRegistry
+	var tr *newton.ObsTracer
+	if *listen != "" {
+		reg, tr = newton.NewObsRegistry(), &newton.ObsTracer{}
+		serveObs(*listen, reg, tr)
+	}
 
 	models, err := parseModels(*modelsFlag, *splitFlag)
 	if err != nil {
@@ -106,6 +122,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("building %v fleet: %v", kind, err)
 		}
+		srv.Observe(reg, tr)
 		return srv
 	}
 
@@ -116,6 +133,7 @@ func main() {
 
 	if *backend == "both" {
 		compare(build(newton.ServeNewton), build(newton.ServeGPU), streams)
+		blockOnListen(*listen)
 		return
 	}
 	var kind newton.ServeBackendKind
@@ -130,6 +148,42 @@ func main() {
 		log.Fatalf("unknown -backend %q", *backend)
 	}
 	single(build(kind), streams, *hist)
+	blockOnListen(*listen)
+}
+
+// serveObs exposes the registry and tracer over HTTP: the Prometheus /
+// JSON routes from the observability package plus the standard pprof
+// handlers. It fails fast on an unusable address and serves in the
+// background so metrics are live while the replay runs.
+func serveObs(addr string, reg *newton.ObsRegistry, tr *newton.ObsTracer) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("-listen %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", newton.ObsHandler(reg, tr))
+	mux.Handle("/snapshot", newton.ObsHandler(reg, tr))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /snapshot /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Fatalf("-listen %s: %v", addr, err)
+		}
+	}()
+}
+
+// blockOnListen keeps the process alive after the runs when -listen is
+// set, so the final exposition stays scrapeable.
+func blockOnListen(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "runs complete; still serving on %s (ctrl-C to exit)\n", addr)
+	select {}
 }
 
 // stream is one labelled arrival sequence.

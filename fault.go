@@ -119,7 +119,18 @@ func (s *System) InjectFaults(pm *PlacedMatrix) (FaultReport, error) {
 		return rep, err
 	}
 	s.injected.Add(rep)
+	s.fobs.PublishReport(rep)
+	s.publishTransient()
 	return rep, nil
+}
+
+// publishTransient refreshes the transient-upset gauge from the
+// injector's running total (the flips accrue inside RunMVM via the
+// trace hook, so every fault entry point re-publishes the latest).
+func (s *System) publishTransient() {
+	if s.transient != nil {
+		s.fobs.PublishTransient(s.transient.Flips)
+	}
 }
 
 // ScrubECC walks a placed matrix over the external interface, checking
@@ -172,7 +183,13 @@ func (s *System) AuditFaults(pm *PlacedMatrix) (FaultAudit, error) {
 	if pm == nil || pm.p == nil {
 		return FaultAudit{}, fmt.Errorf("newton: AuditFaults on an unloaded matrix")
 	}
-	return fault.Audit(pm.p, s.channels())
+	rep, err := fault.Audit(pm.p, s.channels())
+	if err != nil {
+		return rep, err
+	}
+	s.fobs.PublishAudit(rep)
+	s.publishTransient()
+	return rep, nil
 }
 
 // FaultStats returns the system's running reliability counters.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"newton/internal/aim"
+	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/obs"
+	"newton/internal/workloads"
+)
+
+// ChromeTrace runs the Fig. 9 ablation ladder on one small matrix and
+// writes the whole run as a Chrome trace-event file (chrome://tracing
+// or Perfetto): every DRAM command lands on its channel's bus and bank
+// lanes, and a "fig9" span tree marks the ladder steps on the shared
+// timeline. Steps execute sequentially on fresh controllers and are
+// offset by the accumulated end cycles, so the file reads as one
+// continuous run where each design point is visibly denser than the
+// last.
+//
+// Every step runs under the independent conformance checker
+// (host.Options.Verify), so the rendered lanes are a verified
+// schedule, and the Trace hook pins the controller to the serial
+// scheduler, so identical configurations produce identical bytes
+// (TestChromeTraceGolden pins one).
+func (c Config) ChromeTrace(w io.Writer) error {
+	// A deliberately small layer: big enough to exercise chunked
+	// layouts and bank clusters, small enough that the JSON stays in
+	// golden-file territory.
+	b := workloads.Bench{Name: "trace", Rows: 16, Cols: 128}
+	tb := obs.NewChromeTrace()
+	tr := &obs.Tracer{}
+	root := tr.Begin("experiment", "fig9", 0, 0)
+	var offset int64
+	for _, st := range Fig9Steps() {
+		opts := st.Opts
+		opts.Verify = true
+		dcfg := c.dramConfig(c.Banks, st.AggressiveTFAW)
+		ctrl, err := host.NewController(dcfg, opts)
+		if err != nil {
+			return fmt.Errorf("chrometrace %s: %w", st.Label, err)
+		}
+		off := offset
+		ctrl.Trace = func(ch int, cmd dram.Command, cycle int64, _ aim.Result) {
+			tb.AddCommand(ch, cmd, off+cycle, dcfg)
+		}
+		m := layout.RandomMatrix(b.Rows, b.Cols, c.Seed)
+		p, err := ctrl.Place(m)
+		if err != nil {
+			return fmt.Errorf("chrometrace %s: %w", st.Label, err)
+		}
+		res, err := ctrl.RunMVM(p, c.inputFor(b.Cols))
+		if err != nil {
+			return fmt.Errorf("chrometrace %s: %w", st.Label, err)
+		}
+		tr.Span("experiment", st.Label,
+			float64(off+res.StartCycle), float64(off+res.EndCycle), root,
+			obs.Arg{Key: "cycles", Value: strconv.FormatInt(res.Cycles, 10)})
+		offset = off + res.EndCycle
+	}
+	tr.End(root, float64(offset))
+	tb.AddSpans(tr.Spans())
+	return tb.Write(w)
+}

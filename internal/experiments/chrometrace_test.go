@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceConfig bounds the golden file: two channels and eight banks are
+// enough to show sharding, bank clusters, and ganged commands without
+// producing a megabyte of JSON.
+func traceConfig() Config {
+	return Config{Channels: 2, Banks: 8, Seed: 42}
+}
+
+// chromeTraceFile is a minimal decode of the trace-event JSON format.
+type chromeTraceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Pid  int     `json:"pid"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeTraceGolden pins the Perfetto export of the small fig9
+// ladder byte for byte. The run itself executes under the conformance
+// checker (ChromeTrace forces Options.Verify), so the checked-in lanes
+// are a verified schedule; any scheduler change that moves a command
+// shows up here as a diff. Set NEWTON_WRITE_GOLDEN=1 to regenerate
+// after an intentional change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceConfig().ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrometrace_fig9.json")
+	if os.Getenv("NEWTON_WRITE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (set NEWTON_WRITE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got, want := buf.Bytes(), want
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		lo, hi := max(0, i-80), i+80
+		t.Fatalf("trace diverges from golden at byte %d:\n got: …%s…\nwant: …%s…\n(set NEWTON_WRITE_GOLDEN=1 to regenerate after an intentional scheduler change)",
+			i, clip(got, lo, hi), clip(want, lo, hi))
+	}
+}
+
+func clip(b []byte, lo, hi int) []byte {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo > len(b) {
+		lo = len(b)
+	}
+	return b[lo:hi]
+}
+
+// TestChromeTraceShape checks the export independently of the golden
+// bytes: it is valid JSON in the trace-event schema, deterministic
+// across runs, covers every channel, and carries one span per ladder
+// step plus the fig9 root.
+func TestChromeTraceShape(t *testing.T) {
+	cfg := traceConfig()
+	var a, b bytes.Buffer
+	if err := cfg.ChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical configs produced different trace bytes")
+	}
+
+	var f chromeTraceFile
+	if err := json.Unmarshal(a.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", f.DisplayTimeUnit)
+	}
+	steps := make(map[string]bool)
+	channels := make(map[int]bool)
+	lastTs := -1.0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "b":
+			steps[e.Name] = true
+		case "X":
+			if e.Pid < 1<<20 {
+				channels[e.Pid] = true
+			}
+			if e.Ts < lastTs {
+				t.Fatalf("command events out of order: ts %g after %g", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		}
+	}
+	if !steps["fig9"] {
+		t.Error("missing fig9 root span")
+	}
+	for _, st := range Fig9Steps() {
+		if !steps[st.Label] {
+			t.Errorf("missing ladder span %q", st.Label)
+		}
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if !channels[ch] {
+			t.Errorf("no command events for channel %d", ch)
+		}
+	}
+}

@@ -42,6 +42,9 @@ type Controller struct {
 	// (overlapLoadActivate builds one per tile). Indexed by channel, so
 	// parallel channel goroutines never share a slice.
 	actScratch [][]dram.Command
+	// obs, when Observe attached a registry or tracer, publishes per-run
+	// metrics and spans after each RunMVM; nil costs one pointer check.
+	obs *hostObs
 }
 
 // NewController builds a controller and its channels.
@@ -280,6 +283,9 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 	res.EndCycle = end
 	res.Cycles = end - start
 	res.Stats = c.Stats().Diff(before)
+	if c.obs != nil {
+		c.obs.publishRun(c.cfg, res, c.verify)
+	}
 	return res, nil
 }
 

@@ -43,6 +43,10 @@ type IdealNonPIM struct {
 	// EnableVerify was called.
 	verify *conformance.Suite
 
+	// obs publishes per-run metrics and spans after each RunMVM; nil
+	// costs one pointer check.
+	obs *hostObs
+
 	nextFreeRow int
 }
 
@@ -218,6 +222,9 @@ func (h *IdealNonPIM) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error
 	res.EndCycle = end
 	res.Cycles = end - start
 	res.Stats = h.Stats().Diff(before)
+	if h.obs != nil {
+		h.obs.publishRun(h.cfg, res, h.verify)
+	}
 	return res, nil
 }
 

@@ -126,6 +126,9 @@ func (c *Controller) ScrubECC(p *layout.Placement, store *fault.Store) (ScrubRep
 		c.now[ch] = end
 	}
 	rep.Cycles = end - start
+	if c.obs != nil {
+		c.obs.publishScrub(&rep)
+	}
 	return rep, nil
 }
 

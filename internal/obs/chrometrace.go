@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"newton/internal/dram"
+)
+
+// ChromeTrace builds a Chrome trace-event file (the JSON array format
+// that chrome://tracing and Perfetto load) from DRAM commands and obs
+// spans on one timeline. The mapping:
+//
+//   - each DRAM channel is a process (pid = channel);
+//   - inside a channel, tid 0 is the row command bus, tid 1 the column
+//     command bus, and tid 2+b the per-bank lanes, so ganged commands
+//     show up as one bus slot while per-bank work (ACT, COMP_BK, RD
+//     during scrub) lands on its bank's lane;
+//   - serve-layer and host-layer spans become async nestable events
+//     grouped per root span, so one request's queue/service phases (and
+//     the MVM under it) stack on a single track.
+//
+// Timestamps are virtual microseconds (cycle/1000 at the 1 GHz command
+// clock). Event order in the written file is fully deterministic:
+// metadata first, then (ts, pid, tid, id, phase) with append order as
+// the final tiebreak, so identical runs produce identical bytes.
+type ChromeTrace struct {
+	events []chromeEvent
+	named  map[[2]int]bool // (pid, tid) with thread_name emitted; tid -1 = process
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+
+	seq int // append order, the final sort tiebreak
+}
+
+// Reserved tids inside a channel process.
+const (
+	tidRowBus = 0
+	tidColBus = 1
+	tidBank0  = 2
+)
+
+// spanPid is the process all span tracks render under; channel
+// processes use the channel index, which is always < spanPid.
+const spanPid = 1 << 20
+
+// NewChromeTrace returns an empty builder.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{named: make(map[[2]int]bool)}
+}
+
+func (b *ChromeTrace) add(e chromeEvent) {
+	e.seq = len(b.events)
+	b.events = append(b.events, e)
+}
+
+// nameThread emits process/thread metadata once per (pid, tid).
+func (b *ChromeTrace) nameThread(pid, tid int, name string) {
+	if !b.named[[2]int{pid, -1}] {
+		b.named[[2]int{pid, -1}] = true
+		pname := fmt.Sprintf("channel %d", pid)
+		if pid == spanPid {
+			pname = "serve/host spans"
+		}
+		b.add(chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": pname}})
+	}
+	key := [2]int{pid, tid}
+	if !b.named[key] {
+		b.named[key] = true
+		b.add(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+}
+
+// AddCommand records one DRAM command issued on a channel at the given
+// cycle: a slot-wide event on its command bus lane, plus a lane event
+// on the targeted bank(s) where the command has a per-bank target. cfg
+// supplies the durations (command slot, tRCD/tRP/tRFC/tCCD occupancy).
+func (b *ChromeTrace) AddCommand(channel int, cmd dram.Command, cycle int64, cfg dram.Config) {
+	if b == nil {
+		return
+	}
+	t := cfg.Timing
+	rowBus := false
+	switch cmd.Kind {
+	case dram.KindACT, dram.KindPRE, dram.KindPREA, dram.KindREF, dram.KindGACT:
+		rowBus = true
+	}
+	busTid, busName := tidColBus, "col bus"
+	if rowBus {
+		busTid, busName = tidRowBus, "row bus"
+	}
+	b.nameThread(channel, busTid, busName)
+
+	args := map[string]any{}
+	switch cmd.Kind {
+	case dram.KindACT:
+		args["bank"], args["row"] = cmd.Bank, cmd.Row
+	case dram.KindPRE:
+		args["bank"] = cmd.Bank
+	case dram.KindGACT:
+		args["cluster"], args["row"] = cmd.Cluster, cmd.Row
+	case dram.KindRD, dram.KindWR, dram.KindCOMPBank, dram.KindCOLRD, dram.KindMAC:
+		args["bank"], args["col"] = cmd.Bank, cmd.Col
+	case dram.KindGWRITE, dram.KindCOMP, dram.KindBCAST:
+		args["col"] = cmd.Col
+	}
+	if cmd.Latch != 0 {
+		args["latch"] = cmd.Latch
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+
+	busDur := t.CmdSlot
+	if cmd.Kind == dram.KindREF {
+		// Render the refresh blackout at its true width.
+		busDur = t.TRFC
+	}
+	b.add(chromeEvent{Name: cmd.Kind.String(), Cat: "dram", Ph: "X",
+		Ts: cycles(cycle), Dur: cycles(busDur), Pid: channel, Tid: busTid, Args: args})
+
+	// Bank-lane occupancy for per-bank targets; G_ACT fans out to its
+	// cluster. Ganged all-bank commands stay on the bus lane only.
+	bankEvent := func(bank int, dur int64) {
+		b.nameThread(channel, tidBank0+bank, fmt.Sprintf("bank %d", bank))
+		b.add(chromeEvent{Name: cmd.Kind.String(), Cat: "bank", Ph: "X",
+			Ts: cycles(cycle), Dur: cycles(dur), Pid: channel, Tid: tidBank0 + bank, Args: args})
+	}
+	switch cmd.Kind {
+	case dram.KindACT:
+		bankEvent(cmd.Bank, t.TRCD)
+	case dram.KindPRE:
+		bankEvent(cmd.Bank, t.TRP)
+	case dram.KindGACT:
+		for i := 0; i < cfg.Geometry.BanksPerCluster; i++ {
+			bankEvent(cmd.Cluster*cfg.Geometry.BanksPerCluster+i, t.TRCD)
+		}
+	case dram.KindRD, dram.KindWR, dram.KindCOMPBank, dram.KindCOLRD, dram.KindMAC:
+		bankEvent(cmd.Bank, t.TCCD)
+	}
+}
+
+// AddSpans renders obs spans as async nestable events: every span in
+// one root's tree shares the root's id, so Perfetto stacks a request's
+// phases (and anything the host recorded under it) on one track.
+func (b *ChromeTrace) AddSpans(spans []Span) {
+	if b == nil || len(spans) == 0 {
+		return
+	}
+	roots := Roots(spans)
+	tracks := map[string]int{}
+	for _, s := range spans {
+		tid, ok := tracks[s.Track]
+		if !ok {
+			tid = len(tracks)
+			tracks[s.Track] = tid
+			b.nameThread(spanPid, tid, s.Track)
+		}
+		id := strconv.FormatInt(int64(roots[s.ID]), 10)
+		var args map[string]any
+		if len(s.Args) > 0 {
+			args = make(map[string]any, len(s.Args))
+			for _, a := range s.Args {
+				args[a.Key] = a.Value
+			}
+		}
+		b.add(chromeEvent{Name: s.Name, Cat: s.Track, Ph: "b",
+			Ts: s.Start / 1e3, Pid: spanPid, Tid: tid, ID: id, Args: args})
+		b.add(chromeEvent{Name: s.Name, Cat: s.Track, Ph: "e",
+			Ts: s.End / 1e3, Pid: spanPid, Tid: tid, ID: id})
+	}
+}
+
+// cycles converts command-clock cycles to trace microseconds.
+func cycles(c int64) float64 { return float64(c) / 1e3 }
+
+func phRank(ph string) int {
+	switch ph {
+	case "M":
+		return 0
+	case "b":
+		return 1
+	case "X":
+		return 2
+	default: // "e"
+		return 3
+	}
+}
+
+// Write sorts the events deterministically and writes the trace file:
+// one event per line, so golden files diff cleanly.
+func (b *ChromeTrace) Write(w io.Writer) error {
+	evs := append([]chromeEvent(nil), b.events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, c := evs[i], evs[j]
+		am, cm := a.Ph == "M", c.Ph == "M"
+		if am != cm {
+			return am
+		}
+		if am { // metadata: group by process, then thread
+			if a.Pid != c.Pid {
+				return a.Pid < c.Pid
+			}
+			if a.Tid != c.Tid {
+				return a.Tid < c.Tid
+			}
+			return a.seq < c.seq
+		}
+		if a.Ts != c.Ts {
+			return a.Ts < c.Ts
+		}
+		if a.Pid != c.Pid {
+			return a.Pid < c.Pid
+		}
+		if a.Tid != c.Tid {
+			return a.Tid < c.Tid
+		}
+		if a.ID != c.ID {
+			return a.ID < c.ID
+		}
+		if pr, cr := phRank(a.Ph), phRank(c.Ph); pr != cr {
+			return pr < cr
+		}
+		return a.seq < c.seq
+	})
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

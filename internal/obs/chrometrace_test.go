@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"newton/internal/dram"
+)
+
+// decodeTrace unmarshals a written trace back into generic events.
+func decodeTrace(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var file struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	return file.TraceEvents
+}
+
+func TestChromeTraceLanesAndDeterminism(t *testing.T) {
+	cfg := dram.Config{Geometry: dram.HBM2EGeometry(2), Timing: dram.AiMTiming()}
+	build := func() []byte {
+		b := NewChromeTrace()
+		b.AddCommand(0, dram.Command{Kind: dram.KindGACT, Cluster: 1, Row: 7}, 0, cfg)
+		b.AddCommand(0, dram.Command{Kind: dram.KindCOMP, Col: 3}, 28, cfg)
+		b.AddCommand(1, dram.Command{Kind: dram.KindACT, Bank: 2, Row: 9}, 4, cfg)
+		b.AddCommand(0, dram.Command{Kind: dram.KindREADRES}, 60, cfg)
+		b.AddCommand(1, dram.Command{Kind: dram.KindREF}, 100, cfg)
+		tr := &Tracer{}
+		req := tr.Begin("shard-0", "request", 0, 0)
+		tr.Span("shard-0", "service", 10, 60, req)
+		tr.End(req, 60)
+		b.AddSpans(tr.Spans())
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	one, two := build(), build()
+	if !bytes.Equal(one, two) {
+		t.Fatal("identical builds produced different trace bytes")
+	}
+
+	evs := decodeTrace(t, one)
+	count := map[string]int{}
+	var sawGactBankLanes, sawRefWide bool
+	for _, e := range evs {
+		ph := e["ph"].(string)
+		count[ph]++
+		name, _ := e["name"].(string)
+		if name == "G_ACT" && e["ph"] == "X" {
+			// cat "bank" lanes: the ganged activation fans out to its
+			// 4-bank cluster; tids 2+4..2+7 for cluster 1.
+			if e["cat"] == "bank" {
+				tid := int(e["tid"].(float64))
+				if tid < tidBank0+4 || tid > tidBank0+7 {
+					t.Errorf("G_ACT bank lane tid = %d, want cluster 1 banks", tid)
+				}
+				sawGactBankLanes = true
+			} else if int(e["tid"].(float64)) != tidRowBus {
+				t.Errorf("G_ACT bus event not on row bus: %+v", e)
+			}
+		}
+		if name == "COMP" && int(e["tid"].(float64)) != tidColBus {
+			t.Errorf("COMP not on col bus: %+v", e)
+		}
+		if name == "REF" {
+			if dur := e["dur"].(float64); dur != float64(cfg.Timing.TRFC)/1e3 {
+				t.Errorf("REF dur = %v, want tRFC", dur)
+			}
+			sawRefWide = true
+		}
+	}
+	if !sawGactBankLanes {
+		t.Error("no per-bank G_ACT lanes in trace")
+	}
+	if !sawRefWide {
+		t.Error("no REF event in trace")
+	}
+	// One request tree: 2 spans -> 2 "b" + 2 "e" async events.
+	if count["b"] != 2 || count["e"] != 2 {
+		t.Errorf("async event counts b=%d e=%d, want 2/2", count["b"], count["e"])
+	}
+	if count["M"] == 0 {
+		t.Error("no metadata (process/thread name) events")
+	}
+	// Metadata must come first.
+	for i, e := range evs {
+		if e["ph"] == "M" && i > 0 && evs[i-1]["ph"] != "M" {
+			t.Fatalf("metadata event at index %d after non-metadata", i)
+		}
+	}
+}
+
+func TestChromeTraceSpanGrouping(t *testing.T) {
+	tr := &Tracer{}
+	r1 := tr.Begin("shard-0", "request", 0, 0)
+	tr.Span("shard-0", "service", 1, 5, r1)
+	tr.End(r1, 5)
+	r2 := tr.Begin("shard-0", "request", 2, 0) // overlaps r1
+	tr.End(r2, 8)
+
+	b := NewChromeTrace()
+	b.AddSpans(tr.Spans())
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]int{}
+	for _, e := range decodeTrace(t, buf.Bytes()) {
+		if e["ph"] == "b" {
+			ids[e["id"].(string)]++
+		}
+	}
+	// Two overlapping requests must use two distinct async ids, with
+	// r1's child sharing r1's id.
+	if len(ids) != 2 || ids["1"] != 2 || ids["3"] != 1 {
+		t.Fatalf("async id grouping wrong: %v", ids)
+	}
+}

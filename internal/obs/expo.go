@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is the JSON form of a registry: every family with every
+// series, in the same sorted order as the text exposition, so the two
+// exporters agree byte-for-byte about ordering.
+type Snapshot struct {
+	Metrics []SnapshotFamily `json:"metrics"`
+	Spans   []Span           `json:"spans,omitempty"`
+}
+
+// SnapshotFamily is one metric family in a Snapshot.
+type SnapshotFamily struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SnapshotSeries `json:"series"`
+}
+
+// SnapshotSeries is one labeled series in a SnapshotFamily.
+type SnapshotSeries struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries the counter total or gauge value; unused for
+	// histograms.
+	Value float64 `json:"value"`
+	// Histogram state: cumulative counts per upper bound (mirroring
+	// Prometheus le semantics), plus the +Inf count as Count.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Families are sorted
+// by name and series by canonical label set, so a snapshot of a
+// deterministic run is itself deterministic. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.sortedFamilies() {
+		sf := SnapshotFamily{Name: f.name, Help: f.help, Type: f.kind.String()}
+		for _, s := range sortedSeries(f) {
+			ss := SnapshotSeries{Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = float64(s.v.Load())
+			case kindGauge:
+				ss.Value = math.Float64frombits(s.f.Load())
+			case kindHistogram:
+				ss.Bounds = f.buckets
+				ss.Counts = make([]int64, len(f.buckets))
+				var cum int64
+				for i := range s.counts {
+					cum += s.counts[i].Load()
+					if i < len(f.buckets) {
+						ss.Counts[i] = cum
+					}
+				}
+				ss.Count = cum
+				ss.Sum = math.Float64frombits(s.sum.Load())
+			}
+			sf.Series = append(sf.Series, ss)
+		}
+		snap.Metrics = append(snap.Metrics, sf)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot (with optional spans) as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer, tracer *Tracer) error {
+	snap := r.Snapshot()
+	snap.Spans = tracer.Spans()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE headers, then
+// one line per sample, histograms as cumulative _bucket/_sum/_count.
+// Output is byte-identical for identical registry state - families and
+// series are sorted and no timestamps are emitted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		return bw.Flush()
+	}
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range sortedSeries(f) {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", s.key, "", strconv.FormatInt(s.v.Load(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, "", s.key, "", formatFloat(math.Float64frombits(s.f.Load())))
+			case kindHistogram:
+				var cum int64
+				for i := range f.buckets {
+					cum += s.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", s.key,
+						`le="`+formatFloat(f.buckets[i])+`"`, strconv.FormatInt(cum, 10))
+				}
+				cum += s.counts[len(f.buckets)].Load()
+				writeSample(bw, f.name, "_bucket", s.key, `le="+Inf"`, strconv.FormatInt(cum, 10))
+				writeSample(bw, f.name, "_sum", s.key, "", formatFloat(math.Float64frombits(s.sum.Load())))
+				writeSample(bw, f.name, "_count", s.key, "", strconv.FormatInt(cum, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name_suffix{labels,extra} value` line; labels
+// is the series' canonical pre-rendered label set, extra an optional
+// additional pair (the histogram le).
+func writeSample(bw *bufio.Writer, name, suffix, labels, extra, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fs := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+	return fs
+}
+
+func sortedSeries(f *family) []*series {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+	return ss
+}

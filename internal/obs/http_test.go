@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// populatedRegistry builds a registry exercising every metric kind,
+// labels needing escapes, and histogram edge values.
+func populatedRegistry() (*Registry, *Tracer) {
+	r := New()
+	r.Counter("newton_requests_total", "offered requests", L("shard", "newton-0")).Add(128)
+	r.Counter("newton_requests_total", "offered requests", L("shard", "newton-1")).Add(64)
+	r.Gauge("newton_queue_depth_peak", "peak admission queue depth", L("shard", "newton-0")).SetInt(9)
+	h := r.Histogram("newton_latency_ns", "request sojourn time",
+		ExpBuckets(1000, 2, 8), L("shard", "newton-0"))
+	for _, v := range []float64{500, 1000, 3000, 1e6} {
+		h.Observe(v)
+	}
+	tr := &Tracer{}
+	req := tr.Begin("newton-0", "request", 0, 0)
+	tr.End(req, 2500)
+	return r, tr
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+
+// parsePromText is a strict validator for the subset of the Prometheus
+// text exposition format (0.0.4) the registry emits: HELP/TYPE comments
+// first, then samples of the declared family, histograms with monotone
+// cumulative buckets ending at +Inf == _count.
+func parsePromText(t *testing.T, body string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	var curFamily string
+	bucketRe := regexp.MustCompile(`^(.*)_bucket(\{.*le="([^"]+)".*\}) ([0-9]+)$`)
+	lastCum := map[string]int64{}
+	infSeen := map[string]int64{}
+	countSeen := map[string]int64{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			if i := strings.IndexByte(rest, ' '); i <= 0 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := fields[0], fields[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			types[name] = typ
+			curFamily = name
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			m := promLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+			}
+			name := m[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if base != curFamily {
+				t.Fatalf("line %d: sample %q outside its family block (%q)", ln+1, name, curFamily)
+			}
+			if types[curFamily] == "histogram" {
+				if bm := bucketRe.FindStringSubmatch(line); bm != nil {
+					key := bm[1] + bm[2][:strings.Index(bm[2], `le="`)]
+					cum, err := strconv.ParseInt(bm[4], 10, 64)
+					if err != nil {
+						t.Fatalf("line %d: bad bucket count: %q", ln+1, line)
+					}
+					if cum < lastCum[key] {
+						t.Fatalf("line %d: cumulative bucket counts decreased: %q", ln+1, line)
+					}
+					lastCum[key] = cum
+					if bm[3] == "+Inf" {
+						infSeen[key] = cum
+					}
+				} else if strings.Contains(line, "_count") {
+					v, _ := strconv.ParseInt(m[len(m)-1], 10, 64)
+					countSeen[curFamily] = v
+				}
+			}
+		}
+	}
+	for key, inf := range infSeen {
+		fam := key[:strings.Index(key, "{")]
+		if c, ok := countSeen[fam]; ok && c != inf {
+			t.Fatalf("histogram %q: +Inf bucket %d != _count %d", key, inf, c)
+		}
+	}
+	return types
+}
+
+func TestMetricsEndpointServesValidPrometheusText(t *testing.T) {
+	reg, tr := populatedRegistry()
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := parsePromText(t, string(body))
+	want := map[string]string{
+		"newton_requests_total":   "counter",
+		"newton_queue_depth_peak": "gauge",
+		"newton_latency_ns":       "histogram",
+	}
+	for name, typ := range want {
+		if types[name] != typ {
+			t.Errorf("family %q: type %q, want %q\nbody:\n%s", name, types[name], typ, body)
+		}
+	}
+	// Spot-check cumulative histogram rendering.
+	for _, line := range []string{
+		`newton_latency_ns_bucket{shard="newton-0",le="1000"} 2`,
+		`newton_latency_ns_bucket{shard="newton-0",le="+Inf"} 4`,
+		`newton_latency_ns_count{shard="newton-0"} 4`,
+	} {
+		if !strings.Contains(string(body), line) {
+			t.Errorf("expected sample %q in:\n%s", line, body)
+		}
+	}
+}
+
+func TestSnapshotEndpointServesJSON(t *testing.T) {
+	reg, tr := populatedRegistry()
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	if len(snap.Metrics) != 3 {
+		t.Fatalf("snapshot has %d families, want 3", len(snap.Metrics))
+	}
+	for i := 1; i < len(snap.Metrics); i++ {
+		if snap.Metrics[i-1].Name >= snap.Metrics[i].Name {
+			t.Fatalf("snapshot families not sorted: %q then %q",
+				snap.Metrics[i-1].Name, snap.Metrics[i].Name)
+		}
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "request" {
+		t.Fatalf("snapshot spans wrong: %+v", snap.Spans)
+	}
+}
+
+func TestNilHandlerServesEmptyPages(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/snapshot"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s with nil registry: status %d", path, resp.StatusCode)
+		}
+	}
+}

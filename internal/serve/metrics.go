@@ -3,142 +3,28 @@ package serve
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
+
+	"newton/internal/obs"
 )
 
-// Histogram records latency samples. It keeps every sample, so
-// percentiles are exact (nearest-rank on the sorted multiset) and
-// deterministic for a deterministic input stream; Buckets renders a
-// log-spaced view of the distribution for reports. Cells are in
-// command-clock cycles (nanoseconds), like every time in this module.
-//
-// Histogram is not safe for concurrent use; each shard worker owns one
-// and the collector merges them in shard order.
-type Histogram struct {
-	samples []float64
-	sorted  bool
-}
+// Histogram records latency samples with exact (nearest-rank)
+// percentiles. The implementation moved to internal/obs as
+// ExactHistogram when the observability subsystem took over the
+// repo-wide metric helpers; serve re-exports it unchanged so shard
+// workers and every existing caller keep the same type and behaviour.
+type Histogram = obs.ExactHistogram
 
-// Record adds one sample.
-func (h *Histogram) Record(v float64) {
-	h.samples = append(h.samples, v)
-	h.sorted = false
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() int { return len(h.samples) }
-
-func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
-	}
-}
-
-// Percentile returns the exact p-quantile (0 <= p <= 1) by the
-// nearest-rank method the serving example always used: the sample at
-// index floor(p * (n-1)) of the sorted multiset. Zero samples yield 0.
-func (h *Histogram) Percentile(p float64) float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	idx := int(p * float64(len(h.samples)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
-	}
-	return h.samples[idx]
-}
-
-// P50, P95 and P99 are the tail-latency quantiles serving reports lead
-// with.
-func (h *Histogram) P50() float64 { return h.Percentile(0.50) }
-
-// P95 returns the 95th percentile.
-func (h *Histogram) P95() float64 { return h.Percentile(0.95) }
-
-// P99 returns the 99th percentile.
-func (h *Histogram) P99() float64 { return h.Percentile(0.99) }
-
-// Max returns the largest sample (0 when empty).
-func (h *Histogram) Max() float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	return h.samples[len(h.samples)-1]
-}
-
-// Mean returns the arithmetic mean (0 when empty). Summation runs over
-// the sorted multiset so the result does not depend on arrival order.
-func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	var s float64
-	for _, v := range h.samples {
-		s += v
-	}
-	return s / float64(len(h.samples))
-}
-
-// Merge folds another histogram's samples into h.
-func (h *Histogram) Merge(o *Histogram) {
-	if o == nil || len(o.samples) == 0 {
-		return
-	}
-	h.samples = append(h.samples, o.samples...)
-	h.sorted = false
-}
-
-// Bucket is one cell of the log-spaced distribution view.
-type Bucket struct {
-	// Lo and Hi bound the bucket: Lo <= sample < Hi.
-	Lo, Hi float64
-	// N counts samples in the bucket.
-	N int
-}
-
-// Buckets returns the distribution over power-of-two cells starting at
-// the given cell width (e.g. 1000 for microsecond-scale cells). Empty
-// leading/trailing buckets are trimmed.
-func (h *Histogram) Buckets(cell float64) []Bucket {
-	if len(h.samples) == 0 || cell <= 0 {
-		return nil
-	}
-	h.sort()
-	var out []Bucket
-	lo, hi := 0.0, cell
-	i := 0
-	for i < len(h.samples) {
-		n := 0
-		for i < len(h.samples) && h.samples[i] < hi {
-			n++
-			i++
-		}
-		if n > 0 || len(out) > 0 {
-			out = append(out, Bucket{Lo: lo, Hi: hi, N: n})
-		}
-		lo, hi = hi, hi*2
-	}
-	for len(out) > 0 && out[len(out)-1].N == 0 {
-		out = out[:len(out)-1]
-	}
-	return out
-}
+// Bucket is one cell of Histogram's log-spaced distribution view.
+type Bucket = obs.Bucket
 
 // Percentile is the shared nearest-rank helper over a raw sample slice
 // (the function the serving example used to keep privately). The input
 // is not modified.
-func Percentile(v []float64, p float64) float64 {
-	h := Histogram{samples: append([]float64(nil), v...)}
-	return h.Percentile(p)
-}
+func Percentile(v []float64, p float64) float64 { return obs.Percentile(v, p) }
+
+// FormatNs renders a nanosecond quantity with an adaptive unit.
+func FormatNs(ns float64) string { return obs.FormatNs(ns) }
 
 // Metrics aggregates one stream's serving behaviour: admission
 // counters, the latency histograms, and the virtual-time span that
@@ -153,6 +39,9 @@ type Metrics struct {
 	// Service is the per-request in-service time: batch launch to batch
 	// completion.
 	Service Histogram
+	// Batch is the per-launch batch-size distribution (one sample per
+	// launch, so Batch.Count() == Launches).
+	Batch Histogram
 
 	// Arrived counts offered requests; Served completed ones; Shed the
 	// requests dropped — by admission control, by retry exhaustion, or
@@ -164,6 +53,11 @@ type Metrics struct {
 	// Retried counts launch re-executions after a detected result-
 	// validation failure (reliability.go).
 	Retried int64
+
+	// PeakQueue is the deepest the admission queue got (max across
+	// merged shards; the per-shard depth is also published as an obs
+	// gauge when a registry is attached).
+	PeakQueue int64
 
 	// FirstArrival and LastCompletion bound the run in virtual
 	// nanoseconds.
@@ -206,11 +100,15 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Latency.Merge(&o.Latency)
 	m.QueueWait.Merge(&o.QueueWait)
 	m.Service.Merge(&o.Service)
+	m.Batch.Merge(&o.Batch)
 	m.Arrived += o.Arrived
 	m.Served += o.Served
 	m.Shed += o.Shed
 	m.Launches += o.Launches
 	m.Retried += o.Retried
+	if o.PeakQueue > m.PeakQueue {
+		m.PeakQueue = o.PeakQueue
+	}
 	if m.FirstArrival == 0 && m.LastCompletion == 0 {
 		m.FirstArrival, m.LastCompletion = o.FirstArrival, o.LastCompletion
 		return
@@ -232,18 +130,4 @@ func (m *Metrics) Summary() string {
 		fmt.Fprintf(&sb, "  retried %d", m.Retried)
 	}
 	return sb.String()
-}
-
-// FormatNs renders a nanosecond quantity with an adaptive unit.
-func FormatNs(ns float64) string {
-	switch {
-	case ns >= 1e9:
-		return fmt.Sprintf("%.2fs", ns/1e9)
-	case ns >= 1e6:
-		return fmt.Sprintf("%.2fms", ns/1e6)
-	case ns >= 1e3:
-		return fmt.Sprintf("%.1fus", ns/1e3)
-	default:
-		return fmt.Sprintf("%.0fns", ns)
-	}
 }

@@ -1,0 +1,63 @@
+package serve
+
+import "newton/internal/obs"
+
+// Observability buckets. Latency-like quantities get log-spaced bounds
+// from 1 us to ~1 s of virtual time; batch sizes get one bucket per
+// size up to 32 (the largest MaxBatch the experiments sweep), with
+// larger batches falling into +Inf.
+var (
+	latencyBuckets = obs.ExpBuckets(1000, 2, 20)
+	batchBuckets   = obs.LinearBuckets(1, 1, 32)
+)
+
+// publishRun lowers a finished run's per-shard metrics into the
+// registry: the counters and histograms the private Metrics helpers
+// keep, re-published as labeled series so a live process exposes them
+// over /metrics. Publishing happens once per run, from the collector
+// goroutine, in shard order - counters accumulate across runs (load
+// sweeps publish every step) and every series is keyed on virtual-time
+// values, so the exposition is byte-identical across identical runs.
+// A nil registry makes this a no-op.
+func publishRun(reg *obs.Registry, shards []Shard, res *Result, rerouted []int64) {
+	if reg == nil {
+		return
+	}
+	for i := range res.Shards {
+		sr := &res.Shards[i]
+		shard := obs.L("shard", shardTrack(shards[i], i))
+
+		m := &sr.Metrics
+		reg.Counter("newton_serve_requests_total",
+			"requests offered to the shard after routing and failover", shard).Add(m.Arrived)
+		reg.Counter("newton_serve_served_total",
+			"requests completed and validated", shard).Add(m.Served)
+		reg.Counter("newton_serve_shed_total",
+			"requests dropped by admission control, retry exhaustion, or shard failure", shard).Add(m.Shed)
+		reg.Counter("newton_serve_launches_total",
+			"batch launches", shard).Add(m.Launches)
+		reg.Counter("newton_serve_retries_total",
+			"launch re-executions after a detected READRES validation failure", shard).Add(m.Retried)
+		if i < len(rerouted) {
+			reg.Counter("newton_serve_failover_total",
+				"requests rerouted away from this shard by failover", shard).Add(rerouted[i])
+		}
+		reg.Gauge("newton_serve_queue_depth_peak",
+			"deepest the admission queue got during the last run", shard).SetInt(m.PeakQueue)
+		reg.Gauge("newton_serve_health",
+			"shard health after the last run: 0 healthy, 1 degraded, 2 failed", shard).SetInt(int64(sr.Health))
+
+		lat := reg.Histogram("newton_serve_latency_ns",
+			"request sojourn time in virtual ns: arrival to batch completion", latencyBuckets, shard)
+		m.Latency.Each(lat.Observe)
+		qw := reg.Histogram("newton_serve_queue_wait_ns",
+			"arrival to batch launch in virtual ns", latencyBuckets, shard)
+		m.QueueWait.Each(qw.Observe)
+		svc := reg.Histogram("newton_serve_service_ns",
+			"batch launch to completion in virtual ns", latencyBuckets, shard)
+		m.Service.Each(svc.Observe)
+		batch := reg.Histogram("newton_serve_batch_size",
+			"requests coalesced per launch", batchBuckets, shard)
+		m.Batch.Each(batch.Observe)
+	}
+}

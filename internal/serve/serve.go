@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"newton/internal/obs"
 )
 
 // Shard is one independent serving partition: a backend (a channel
@@ -106,6 +108,7 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 	ordered := append([]Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].T < ordered[j].T })
 	streams := make([][]Request, len(shards))
+	rerouted := make([]int64, len(shards)) // failover reroutes, by origin shard
 	for _, r := range ordered {
 		if r.T < 0 {
 			return nil, fmt.Errorf("serve: negative arrival time %g", r.T)
@@ -117,37 +120,53 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 		// Hop count bounds failover chains (A -> B -> C); a cycle of
 		// all-dead shards leaves the request on the last one, which
 		// sheds it.
+		origin := si
 		for hops := 0; hops < len(shards) && failover[si] >= 0 && r.T >= shards[si].Fault.FailAt; hops++ {
 			si = failover[si]
+		}
+		if si != origin {
+			rerouted[origin]++
 		}
 		streams[si] = append(streams[si], r)
 	}
 
 	// One worker goroutine per shard; a channel funnels results to the
-	// collector below. Workers share nothing but the channel.
+	// collector below. Workers share nothing but the channel. When the
+	// run-level Options carry a Tracer, each worker records spans into a
+	// private tracer; the collector merges them in shard order below so
+	// the combined trace is as deterministic as the metrics.
 	type done struct {
 		idx    int
 		m      Metrics
 		health Health
+		tr     *obs.Tracer
 	}
 	ch := make(chan done)
 	for si := range shards {
 		o := opt
 		if shards[si].Opt != nil {
+			// Per-shard overrides tune the queue and batcher only;
+			// observability stays a run-level decision.
 			o = *shards[si].Opt
+			o.Obs, o.Tracer = opt.Obs, opt.Tracer
 		}
 		go func(idx int, sh Shard, stream []Request, o Options) {
-			sim := shardSim{backend: sh.Backend, opt: o, arr: stream, plan: sh.Fault}
+			sim := shardSim{backend: sh.Backend, opt: o, arr: stream, plan: sh.Fault,
+				name: shardTrack(sh, idx)}
+			if o.Tracer != nil {
+				sim.tr = &obs.Tracer{}
+			}
 			if sh.Fault != nil {
 				// Each shard draws from its own stream, seeded by plan
 				// and shard position, so fleets replay identically.
 				sim.rng = rand.New(rand.NewSource(sh.Fault.Seed + int64(idx)))
 			}
-			ch <- done{idx: idx, m: sim.run(), health: sim.health}
+			ch <- done{idx: idx, m: sim.run(), health: sim.health, tr: sim.tr}
 		}(si, shards[si], streams[si], o)
 	}
 
 	res := &Result{Shards: make([]ShardResult, len(shards))}
+	tracers := make([]*obs.Tracer, len(shards))
 	for range shards {
 		d := <-ch
 		res.Shards[d.idx] = ShardResult{
@@ -156,9 +175,24 @@ func Run(shards []Shard, reqs []Request, opt Options) (*Result, error) {
 			Health:  d.health,
 			Metrics: d.m,
 		}
+		tracers[d.idx] = d.tr
 	}
 	for i := range res.Shards {
 		res.Total.Merge(&res.Shards[i].Metrics)
 	}
+	if opt.Tracer != nil {
+		for _, tr := range tracers {
+			opt.Tracer.Merge(tr)
+		}
+	}
+	publishRun(opt.Obs, shards, res, rerouted)
 	return res, nil
+}
+
+// shardTrack names a shard's span track and metric label.
+func shardTrack(sh Shard, idx int) string {
+	if sh.Name != "" {
+		return sh.Name
+	}
+	return fmt.Sprintf("shard-%d", idx)
 }

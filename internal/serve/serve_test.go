@@ -2,6 +2,7 @@ package serve
 
 import (
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -79,10 +80,12 @@ func TestMaxWaitDeadline(t *testing.T) {
 	// 200 and 170); r2 waits out the busy device and runs alone
 	// 200..300 (latency 200).
 	want := []float64{170, 200, 200}
-	got := append([]float64(nil), res.Total.Latency.samples...)
-	res.Total.Latency.sort()
-	if !reflect.DeepEqual(res.Total.Latency.samples, want) {
-		t.Errorf("latencies %v (unsorted %v), want %v", res.Total.Latency.samples, got, want)
+	var got []float64
+	res.Total.Latency.Each(func(v float64) { got = append(got, v) })
+	sorted := append([]float64(nil), got...)
+	sort.Float64s(sorted)
+	if !reflect.DeepEqual(sorted, want) {
+		t.Errorf("latencies %v (unsorted %v), want %v", sorted, got, want)
 	}
 	if res.Total.Launches != 2 {
 		t.Errorf("launches = %d, want 2", res.Total.Launches)
@@ -211,14 +214,15 @@ func TestShardedRunDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Force identical lazy-sort state before comparing.
-		res.Total.Latency.sort()
-		res.Total.QueueWait.sort()
-		res.Total.Service.sort()
+		// Force identical lazy-sort state before comparing (any
+		// percentile query sorts the sample multiset in place).
+		res.Total.Latency.Percentile(0)
+		res.Total.QueueWait.Percentile(0)
+		res.Total.Service.Percentile(0)
 		for i := range res.Shards {
-			res.Shards[i].Metrics.Latency.sort()
-			res.Shards[i].Metrics.QueueWait.sort()
-			res.Shards[i].Metrics.Service.sort()
+			res.Shards[i].Metrics.Latency.Percentile(0)
+			res.Shards[i].Metrics.QueueWait.Percentile(0)
+			res.Shards[i].Metrics.Service.Percentile(0)
 		}
 		return res
 	}

@@ -3,6 +3,9 @@ package serve
 import (
 	"math"
 	"math/rand"
+	"strconv"
+
+	"newton/internal/obs"
 )
 
 // ShedPolicy selects what admission control drops when the bounded
@@ -42,6 +45,17 @@ type Options struct {
 	QueueDepth int
 	// Policy picks the victim when the queue is full.
 	Policy ShedPolicy
+
+	// Obs receives the run's serving metrics (per-shard counters,
+	// queue-depth peaks, batch-size and latency histograms). Nil keeps
+	// observability off at zero cost. Only the run-level Options' Obs is
+	// consulted; per-shard Opt overrides inherit it.
+	Obs *obs.Registry
+	// Tracer receives request-scoped spans (request -> queue/service,
+	// batch launches, shed/fail markers), stamped in virtual ns. Each
+	// worker records into a private tracer; Run merges them in shard
+	// order so the trace is deterministic. Inherited like Obs.
+	Tracer *obs.Tracer
 }
 
 func (o Options) maxBatch() int {
@@ -82,6 +96,11 @@ type shardSim struct {
 	queue []int // indices into arr: admitted, waiting
 	free  float64
 	m     Metrics
+
+	// name labels this shard's span track; tr is the worker-private
+	// tracer (nil = tracing off) that Run merges in shard order.
+	name string
+	tr   *obs.Tracer
 }
 
 // run simulates the full arrival stream and returns the shard metrics.
@@ -137,6 +156,10 @@ func (s *shardSim) run() Metrics {
 func (s *shardSim) fail(next int) {
 	s.health = Failed
 	s.m.Shed += int64(len(s.queue))
+	if s.tr != nil {
+		s.tr.Instant(s.name, "fail", s.plan.FailAt, 0,
+			obs.Arg{Key: "shed_queued", Value: strconv.Itoa(len(s.queue))})
+	}
 	s.queue = s.queue[:0]
 	for ; next < len(s.arr); next++ {
 		s.m.Arrived++
@@ -155,12 +178,19 @@ func (s *shardSim) admit(idx int) {
 	}
 	if s.opt.QueueDepth > 0 && len(s.queue) >= s.opt.QueueDepth {
 		s.m.Shed++
+		if s.tr != nil {
+			s.tr.Instant(s.name, "shed", s.arr[idx].T, 0,
+				obs.Arg{Key: "policy", Value: s.opt.Policy.String()})
+		}
 		if s.opt.Policy == ShedOldest {
 			s.queue = append(s.queue[1:], idx)
 		}
 		return
 	}
 	s.queue = append(s.queue, idx)
+	if n := int64(len(s.queue)); n > s.m.PeakQueue {
+		s.m.PeakQueue = n
+	}
 }
 
 // sameModelQueued counts queued requests for the model.
@@ -214,9 +244,34 @@ func (s *shardSim) launch(model, maxBatch int, at float64) {
 	done := at + float64(attempts)*service
 	s.free = done
 	s.m.Launches++
+	s.m.Batch.Record(float64(len(members)))
 	if done > s.m.LastCompletion {
 		s.m.LastCompletion = done
 	}
+
+	if s.tr != nil {
+		// One batch span, with each member's full request tree under it
+		// recorded retrospectively (member arrival times are known here,
+		// so the spans land in launch order — virtual-time order — and
+		// the trace stays deterministic).
+		batch := s.tr.Span(s.name, "batch", at, done, 0,
+			obs.Arg{Key: "model", Value: strconv.Itoa(model)},
+			obs.Arg{Key: "batch", Value: strconv.Itoa(len(members))},
+			obs.Arg{Key: "attempts", Value: strconv.Itoa(attempts)})
+		for _, idx := range members {
+			t := s.arr[idx].T
+			req := s.tr.Span(s.name, "request", t, done, batch)
+			s.tr.Span(s.name, "queue", t, at, req)
+			svc := s.tr.Span(s.name, "service", at, done, req)
+			if attempts > 1 {
+				s.tr.Annotate(svc, "retries", strconv.Itoa(attempts-1))
+			}
+			if !ok {
+				s.tr.Annotate(req, "outcome", "shed")
+			}
+		}
+	}
+
 	if !ok {
 		s.m.Shed += int64(len(members))
 		return

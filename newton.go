@@ -196,6 +196,10 @@ type System struct {
 	injected   FaultReport
 	scrubTotal ScrubReport
 	sinceScrub int
+
+	// fobs publishes fault-subsystem metrics when Observe attached a
+	// registry to a fault-enabled system (obs.go).
+	fobs *fault.Metrics
 }
 
 // NewSystem builds a Newton system.
