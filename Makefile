@@ -18,9 +18,10 @@ build:
 test:
 	go test ./...
 
-# Wall-clock performance gate: benchmark smoke over every Benchmark*,
-# then a serial-vs-parallel perf report written to BENCH_PR5.json and
-# schema-checked (see scripts/bench.sh for the knobs).
+# Wall-clock performance gate: benchmark smoke over every Benchmark*
+# (including BenchmarkCluster's fleet study), then a serial-vs-parallel
+# perf report written to BENCH_PR6.json and schema-checked (see
+# scripts/bench.sh for the knobs).
 bench:
 	./scripts/bench.sh
 

@@ -215,6 +215,26 @@ func BenchmarkNoReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster reports the fleet-serving study: a 4-device Newton
+// fleet against a 4-device GPU fleet behind the same virtual-time
+// router, with the Newton fleet's saturated capacity and the p99
+// crossover load as custom metrics.
+func BenchmarkCluster(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ServingN = 10000
+	for i := 0; i < b.N; i++ {
+		pts, sum, err := cfg.Cluster()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.NewtonFleetQPS/1e6, "fleet_Mqps")
+		b.ReportMetric(sum.CrossoverQPS/1e6, "crossover_Mqps")
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderCluster(pts, sum))
+		}
+	}
+}
+
 // BenchmarkMatVecGNMT measures raw simulator throughput on one GNMT-s1
 // product: how long the host machine takes to simulate a 5.3 us Newton
 // operation.

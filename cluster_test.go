@@ -1,0 +1,161 @@
+package newton
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// clusterTestConfig keeps device calibration cheap: every fleet device
+// is a full 4-channel system.
+func clusterTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	return cfg
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	cfg := clusterTestConfig()
+	cases := []struct {
+		name string
+		cc   ClusterConfig
+	}{
+		{"no models", ClusterConfig{}},
+		{"bad shape", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 0, Cols: 4}}}},
+		{"split of one", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 64, Cols: 32, SplitAcross: 1}}}},
+		{"split and replicas", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 64, Cols: 32, SplitAcross: 2, Replicas: 2}}}},
+		{"split with standby", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 64, Cols: 32, SplitAcross: 2, Standby: 1}}}},
+		{"split past rows", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 2, Cols: 32, SplitAcross: 3}}}},
+		{"negative replicas", ClusterConfig{Models: []ClusterModel{{Name: "x", Rows: 64, Cols: 32, Replicas: -1}}}},
+		{"outage out of range", ClusterConfig{
+			Models:  []ClusterModel{{Name: "x", Rows: 64, Cols: 32}},
+			Outages: []DeviceOutage{{Device: 5, At: 100}},
+		}},
+		{"outage at zero", ClusterConfig{
+			Models:  []ClusterModel{{Name: "x", Rows: 64, Cols: 32}},
+			Outages: []DeviceOutage{{Device: 0, At: 0}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := cfg.NewCluster(tc.cc); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// A mixed fleet — a replicated model with a standby plus a row-split
+// model — serves a Poisson stream with every request accounted for, and
+// two independently built clusters agree exactly (parallel calibration
+// must not leak into results).
+func TestClusterServePoissonDeterministic(t *testing.T) {
+	cfg := clusterTestConfig()
+	cc := ClusterConfig{
+		Models: []ClusterModel{
+			{Name: "rep", Rows: 64, Cols: 32, Replicas: 2, Standby: 1, Weight: 2},
+			{Name: "split", Rows: 64, Cols: 32, SplitAcross: 2},
+		},
+		Options: ClusterOptions{
+			MaxBatch: 4, MaxWait: 200, ReduceNs: 50,
+			Autoscale: &ClusterAutoscale{SLOP99Ns: 5e5, WarmupNs: 100, Window: 64},
+		},
+		Seed: 3,
+	}
+	run := func() (*ClusterResult, string) {
+		cl, err := cfg.NewCluster(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(cl.Devices()); got != 5 {
+			t.Fatalf("fleet has %d devices, want 5 (2 replicas + 1 standby + 2 slices)", got)
+		}
+		reg := NewObsRegistry()
+		cl.Observe(reg, nil)
+		res, err := cl.ServePoisson(3000, 2e6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	a, aexp := run()
+	b, bexp := run()
+	if a.Total.Served+a.Total.Shed != 3000 {
+		t.Fatalf("served %d + shed %d != 3000 offered", a.Total.Served, a.Total.Shed)
+	}
+	if a.Total.Served != b.Total.Served || a.Total.Latency.P99() != b.Total.Latency.P99() {
+		t.Fatalf("rebuilt cluster disagrees: served %d/%d p99 %g/%g",
+			a.Total.Served, b.Total.Served, a.Total.Latency.P99(), b.Total.Latency.P99())
+	}
+	if aexp != bexp {
+		t.Fatal("rebuilt cluster's exposition differs")
+	}
+	if !strings.Contains(aexp, `device="newton-0"`) || !strings.Contains(aexp, `device="newton-4"`) {
+		t.Fatalf("exposition lacks per-device labels:\n%.300s", aexp)
+	}
+	for _, dr := range a.Devices {
+		if dr.Backend != "newton" {
+			t.Errorf("device %s backend %q, want newton", dr.Name, dr.Backend)
+		}
+	}
+}
+
+// Killing a device mid-run drains its queue to the replica sibling
+// without dropping any accepted request.
+func TestClusterOutageDrainsToSibling(t *testing.T) {
+	cfg := clusterTestConfig()
+	cl, err := cfg.NewCluster(ClusterConfig{
+		Models:  []ClusterModel{{Name: "rep", Rows: 64, Cols: 32, Replicas: 2}},
+		Options: ClusterOptions{MaxBatch: 4, MaxWait: 100},
+		Seed:    3,
+		Outages: []DeviceOutage{{Device: 0, At: 10_000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := cl.Devices()
+	if devs[0].FailoverTo != devs[1].Name || devs[1].FailoverTo != devs[0].Name {
+		t.Fatalf("replica failover ring not built: %q -> %q, %q -> %q",
+			devs[0].Name, devs[0].FailoverTo, devs[1].Name, devs[1].FailoverTo)
+	}
+	// Oversaturate so the doomed device has a queue to drain at the
+	// kill time (the stream spans ~40 us at 5e7 qps; the kill lands a
+	// quarter of the way in).
+	res, err := cl.ServePoisson(2000, 5e7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := res.Devices[0]
+	if dead.Health != DeviceFailed {
+		t.Errorf("killed device health %v, want failed", dead.Health)
+	}
+	if res.Total.Served != 2000 || res.Total.Shed != 0 {
+		t.Fatalf("served %d shed %d, want 2000/0: the sibling must absorb the drain", res.Total.Served, res.Total.Shed)
+	}
+	if res.Router.Drained == 0 {
+		t.Error("kill mid-run drained nothing (lower At if arrival pattern changed)")
+	}
+	if sib := res.Devices[1].Metrics.DrainedIn; sib != res.Router.Drained {
+		t.Errorf("sibling drained-in %d != router drained %d", sib, res.Router.Drained)
+	}
+}
+
+func TestOutageScheduleRoot(t *testing.T) {
+	out, err := OutageSchedule(5, 4, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d outages, want 1", len(out))
+	}
+	cfg := clusterTestConfig()
+	if _, err := cfg.NewCluster(ClusterConfig{
+		Models:  []ClusterModel{{Name: "rep", Rows: 64, Cols: 32, Replicas: 4}},
+		Seed:    3,
+		Outages: out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

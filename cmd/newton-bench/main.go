@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|serving|fault|all] [-channels N] [-banks N] [-functional]
+//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|serving|cluster|fault|all] [-channels N] [-banks N] [-functional]
 //
-// With -json DIR, runners that have a machine-readable form (serving,
+// With -json DIR, runners that have a machine-readable form (serving, cluster,
 // fault) also write BENCH_<name>.json files into DIR, so the
 // perf/reliability trajectory can be tracked across changes.
 //
@@ -41,13 +41,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, fault, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, cluster, fault, or all")
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
 	verify := flag.Bool("verify", false, "run every simulation under the independent conformance checker; any timing or protocol violation aborts")
 	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
-	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, fault)")
+	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, cluster, fault)")
 	serial := flag.Bool("serial", false, "force the serial reference path: channels simulate one at a time and sweeps run their design points sequentially (results are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -282,6 +282,24 @@ func main() {
 			return nil
 		}
 		fmt.Println(experiments.RenderServing(points, sum))
+		return nil
+	})
+	run("cluster", func() error {
+		points, sum, err := cfg.Cluster()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("cluster", struct {
+			Points  []experiments.ClusterPoint
+			Summary experiments.ClusterSummary
+		}{points, sum}); err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSVCluster(points))
+			return nil
+		}
+		fmt.Println(experiments.RenderCluster(points, sum))
 		return nil
 	})
 	run("fault", func() error {

@@ -7,9 +7,11 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"newton"
 	"newton/internal/bf16"
 	"newton/internal/dram"
 	"newton/internal/experiments"
@@ -21,9 +23,12 @@ import (
 
 // PerfSchema tags the -perf report format; scripts/bench.sh and the CI
 // benchmark-smoke job validate reports against it with -checkperf. v2
-// adds the observability-overhead side (obs-on serial measurement and
-// its relative cost) and gates the obs-off allocation budgets.
-const PerfSchema = "newton-bench-perf/v2"
+// added the observability-overhead side (obs-on serial measurement and
+// its relative cost) and gated the obs-off allocation budgets. v3 adds
+// the fleet section: a 4-device cluster replay's virtual-time capacity,
+// wall cost per routed request, and router overhead over a single
+// device, with its own byte-identity verdict.
+const PerfSchema = "newton-bench-perf/v3"
 
 // obsOffAllocBudgets pins the serial obs-off allocation cost of each MVM
 // workload (allocs per RunMVM with no registry attached), at the levels
@@ -68,7 +73,32 @@ type PerfEntry struct {
 	ObsOverheadPct float64  `json:"obs_overhead_pct"`
 }
 
-// PerfReport is the BENCH_PR5.json payload: the simulator's wall-clock
+// FleetPerf is the v3 fleet section: the cluster router replaying a
+// saturating Poisson stream across a fleet of calibrated Newton
+// devices.
+type FleetPerf struct {
+	// Devices is the fleet width; Requests the replayed stream length.
+	Devices  int `json:"devices"`
+	Requests int `json:"requests"`
+	// OfferedQPS is the stream's offered load and FleetQPS the fleet's
+	// served throughput, both in queries per second of virtual time.
+	OfferedQPS float64 `json:"offered_qps"`
+	FleetQPS   float64 `json:"fleet_qps"`
+	// NsPerRequest is the wall-clock cost of routing and completing one
+	// request through the fleet replay; SingleNsPerRequest is the same
+	// stream through a one-device fleet, where routing degenerates.
+	// RouterOverheadPct is the fleet's per-request premium over it — the
+	// price of the ring, least-loaded scans and failover machinery.
+	NsPerRequest       int64   `json:"ns_per_request"`
+	SingleNsPerRequest int64   `json:"single_device_ns_per_request"`
+	RouterOverheadPct  float64 `json:"router_overhead_pct"`
+	// Identical records that two independently built and calibrated
+	// fleets produced byte-identical Prometheus expositions for the
+	// same stream.
+	Identical bool `json:"byte_identical"`
+}
+
+// PerfReport is the BENCH_PR6.json payload: the simulator's wall-clock
 // performance trajectory, measured from one code path.
 type PerfReport struct {
 	Schema     string `json:"schema"`
@@ -85,6 +115,8 @@ type PerfReport struct {
 	VerifyCommands   int64       `json:"verify_commands_checked"`
 	VerifyViolations int         `json:"verify_violations"`
 	Benchmarks       []PerfEntry `json:"benchmarks"`
+	// Fleet is the cluster-router measurement (required since v3).
+	Fleet *FleetPerf `json:"fleet"`
 }
 
 // perfWorkloads are the MVM benchmarks: the largest Table II layer
@@ -302,6 +334,102 @@ func perfEntryFig9(channels, banks int, seed int64) (PerfEntry, error) {
 	return entry, nil
 }
 
+// perfFleet measures the v3 fleet section: a 4-device Newton cluster
+// replaying a saturating Poisson stream (offered load past the fleet
+// knee), against a single-device fleet as the router-overhead baseline.
+func perfFleet(channels, banks int, seed int64) (*FleetPerf, error) {
+	const (
+		fleetDevices  = 4
+		fleetRequests = 100_000
+		fleetOffered  = 1.5e7
+	)
+	bench, ok := workloads.ByName("DLRM-s1")
+	if !ok {
+		return nil, fmt.Errorf("DLRM-s1 missing from Table II")
+	}
+	cfg := newton.DefaultConfig()
+	cfg.Channels = channels
+	cfg.Banks = banks
+	build := func(replicas int) (*newton.Cluster, error) {
+		return cfg.NewCluster(newton.ClusterConfig{
+			Models: []newton.ClusterModel{
+				{Name: bench.Name, Rows: bench.Rows, Cols: bench.Cols, Replicas: replicas},
+			},
+			Options: newton.ClusterOptions{MaxBatch: 1},
+			Seed:    seed,
+		})
+	}
+	reqs := newton.PoissonRequests(fleetRequests, fleetOffered, nil, 11)
+
+	// Byte-identity: two independently built and calibrated fleets must
+	// expose identical Prometheus bytes for the same stream.
+	expose := func() (string, *newton.ClusterResult, error) {
+		cl, err := build(fleetDevices)
+		if err != nil {
+			return "", nil, err
+		}
+		reg := newton.NewObsRegistry()
+		cl.Observe(reg, nil)
+		res, err := cl.Replay(reqs)
+		if err != nil {
+			return "", nil, err
+		}
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			return "", nil, err
+		}
+		return buf.String(), res, nil
+	}
+	expA, res, err := expose()
+	if err != nil {
+		return nil, err
+	}
+	expB, _, err := expose()
+	if err != nil {
+		return nil, err
+	}
+	fp := &FleetPerf{
+		Devices:    fleetDevices,
+		Requests:   fleetRequests,
+		OfferedQPS: fleetOffered,
+		FleetQPS:   res.Total.Throughput(),
+		Identical:  expA == expB,
+	}
+
+	// Wall cost per routed request, unmetered (nil-registry fast path).
+	measure := func(replicas int) (int64, error) {
+		cl, err := build(replicas)
+		if err != nil {
+			return 0, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := cl.Replay(reqs); err != nil {
+					benchErr = err
+					tb.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return 0, benchErr
+		}
+		return r.NsPerOp() / int64(len(reqs)), nil
+	}
+	if fp.NsPerRequest, err = measure(fleetDevices); err != nil {
+		return nil, err
+	}
+	if fp.SingleNsPerRequest, err = measure(1); err != nil {
+		return nil, err
+	}
+	if fp.SingleNsPerRequest > 0 {
+		fp.RouterOverheadPct = 100 * float64(fp.NsPerRequest-fp.SingleNsPerRequest) /
+			float64(fp.SingleNsPerRequest)
+	}
+	return fp, nil
+}
+
 // runPerf measures the report and writes it to path.
 func runPerf(channels, banks int, seed int64, path string) error {
 	rep := PerfReport{
@@ -329,6 +457,10 @@ func runPerf(channels, banks int, seed int64, path string) error {
 		return fmt.Errorf("perf fig9-sweep: %w", err)
 	}
 	rep.Benchmarks = append(rep.Benchmarks, entry)
+	fmt.Fprintf(os.Stderr, "perf: measuring fleet...\n")
+	if rep.Fleet, err = perfFleet(channels, banks, seed); err != nil {
+		return fmt.Errorf("perf fleet: %w", err)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -346,6 +478,11 @@ func runPerf(channels, banks int, seed int64, path string) error {
 			fmt.Printf("  obs-overhead %+.1f%%", e.ObsOverheadPct)
 		}
 		fmt.Println()
+	}
+	if f := rep.Fleet; f != nil {
+		fmt.Printf("fleet        %d devices  %.2fM qps served @ %.0fM offered  %d ns/request (single-device %d, router overhead %+.1f%%)  identical=%v\n",
+			f.Devices, f.FleetQPS/1e6, f.OfferedQPS/1e6,
+			f.NsPerRequest, f.SingleNsPerRequest, f.RouterOverheadPct, f.Identical)
 	}
 	fmt.Printf("conformance: %d commands checked, %d violations (gomaxprocs=%d, cpus=%d)\n",
 		rep.VerifyCommands, rep.VerifyViolations, rep.GOMAXPROCS, rep.CPUs)
@@ -399,6 +536,22 @@ func checkPerf(path string) error {
 	if rep.VerifyViolations != 0 {
 		return fmt.Errorf("%s: %d conformance violations recorded", path, rep.VerifyViolations)
 	}
-	fmt.Printf("%s: valid %s report, %d benchmarks, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
+	f := rep.Fleet
+	if f == nil {
+		return fmt.Errorf("%s: missing fleet section (required since %s)", path, PerfSchema)
+	}
+	if f.Devices < 4 {
+		return fmt.Errorf("%s: fleet has %d devices, want >= 4", path, f.Devices)
+	}
+	if f.FleetQPS < 1e7 {
+		return fmt.Errorf("%s: fleet capacity %.2fM qps is below the 10M floor", path, f.FleetQPS/1e6)
+	}
+	if f.NsPerRequest <= 0 {
+		return fmt.Errorf("%s: fleet has non-positive ns/request", path)
+	}
+	if !f.Identical {
+		return fmt.Errorf("%s: fleet failed the rebuild byte-identity check", path)
+	}
+	fmt.Printf("%s: valid %s report, %d benchmarks + fleet, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
 	return nil
 }

@@ -1,0 +1,91 @@
+// Cluster: fleet-scale serving (§III-D lifted to devices). The serving
+// example's single device becomes a fleet: three replicas of the DLRM
+// recommendation layer behind a least-loaded router, plus one larger
+// layer row-split across two devices with the router reducing partial
+// sums. A mid-run device kill drains the doomed queue to the replica
+// siblings — the fleet keeps every accepted request.
+//
+// Everything is deterministic: weights, calibration, arrivals and the
+// kill time all run from explicit seeds in virtual time, so this
+// program prints the same bytes on every machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newton"
+)
+
+const (
+	arrivalSeed = 7 // fixes the Poisson stream
+	modelSeed   = 1 // fixes weights and calibration inputs
+	requests    = 8000
+	// Past the replicas' combined knee, so queues are non-empty when
+	// the kill lands and the drain to siblings is visible below.
+	offeredQPS = 2e7
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := newton.DefaultConfig()
+	cc := newton.ClusterConfig{
+		Models: []newton.ClusterModel{
+			// Three interchangeable replicas; the router picks the least
+			// loaded. Replicas form a failover ring, so any one can die.
+			{Name: "DLRM-s1", Rows: 512, Cols: 256, Replicas: 3, Weight: 3},
+			// Row-split: each device holds half the rows, every request
+			// fans out to both halves and the router adds the partial
+			// sums (ReduceNs below prices that reduction).
+			{Name: "GNMT-s1", Rows: 4096, Cols: 1024, SplitAcross: 2},
+		},
+		Options: newton.ClusterOptions{
+			MaxBatch: 1, // Newton serves unbatched (see examples/serving)
+			ReduceNs: 100,
+		},
+		Seed: modelSeed,
+		// Kill the first replica a third of the way into the stream.
+		Outages: []newton.DeviceOutage{{Device: 0, At: float64(requests) / offeredQPS * 1e9 / 3}},
+	}
+	cl, err := cfg.NewCluster(cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("placement:")
+	for _, d := range cl.Devices() {
+		role := "replica"
+		if len(d.Models) > 0 && d.Models[0] == 1 {
+			role = "slice"
+		}
+		fmt.Printf("  %-10s %s of models %v, failover -> %s\n", d.Name, role, d.Models, orNone(d.FailoverTo))
+	}
+
+	res, err := cl.ServePoisson(requests, offeredQPS, arrivalSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfleet: %s\n", res.Total.Summary())
+	for _, d := range res.Devices {
+		fmt.Printf("  %-10s %s", d.Name, d.Metrics.Summary())
+		if d.Health != newton.DeviceHealthy {
+			fmt.Printf("  [%s]", d.Health)
+		}
+		fmt.Println()
+	}
+	r := res.Router
+	fmt.Printf("router: %d requests, %d split fan-outs, drained %d to siblings (%d lost)\n",
+		r.Requests, r.Fanout, r.Drained, r.DrainShed)
+	if res.Total.Served+res.Total.Shed == requests && res.Total.Shed == 0 {
+		fmt.Println("every accepted request survived the device kill.")
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

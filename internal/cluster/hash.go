@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ringVNodes is the number of virtual nodes per device on a consistent-
+// hash ring. 64 points spread each device's share of the keyspace
+// finely enough that a device's death moves only ~1/k of the keys, and
+// small enough that ring construction stays cheap.
+const ringVNodes = 64
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone has poor avalanche on
+// near-sequential inputs (consecutive vnode or key values land prime-
+// spaced, clustering each device's points into one contiguous arc, and
+// every request key into it); finalizing scatters them uniformly while
+// staying a pure, platform-independent function — ring layout is part
+// of the determinism contract.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ring is a consistent-hash ring over one model's replica devices.
+// Points are mixed hashes of "<device-name>#<vnode>"; lookups walk
+// clockwise from the key's hash, so routing is stable under device
+// death (only the dead device's arcs move, each to its clockwise
+// successor).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	dev  int
+}
+
+// newRing builds the ring for a replica set. Construction is
+// deterministic: hashes depend only on device names, and ties (hash
+// collisions) break by device index then vnode, fixed by the sort.
+func newRing(devices []Device, replicas []int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(replicas)*ringVNodes)}
+	for _, di := range replicas {
+		h := fnv.New64a()
+		h.Write([]byte(devices[di].Name))
+		base := h.Sum64()
+		for v := 0; v < ringVNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: mix64(base + uint64(v)), dev: di})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.dev < b.dev
+	})
+	return r
+}
+
+// keyHash hashes a request index onto the ring's keyspace.
+func keyHash(key int64) uint64 {
+	return mix64(uint64(key) + 0x9e3779b97f4a7c15)
+}
+
+// pick walks clockwise from key's hash and returns the first device the
+// live predicate accepts, plus whether that device was the preferred
+// (first-on-ring) owner. Returns -1 if no device on the ring is live.
+func (r *ring) pick(key int64, live func(dev int) bool) (dev int, preferred bool) {
+	if len(r.points) == 0 {
+		return -1, false
+	}
+	kh := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	first := -1
+	seen := make(map[int]bool)
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if first == -1 {
+			first = p.dev
+		}
+		if seen[p.dev] {
+			continue
+		}
+		seen[p.dev] = true
+		if live(p.dev) {
+			return p.dev, p.dev == first
+		}
+	}
+	return -1, false
+}

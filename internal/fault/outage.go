@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Outage is a device-level failure: the named fleet device dies at the
+// given virtual time. Where the rest of this package injects faults
+// inside one device (cells, rows, transient upsets), an Outage is the
+// fleet-scale event the cluster layer consumes — a whole accelerator
+// dropping out of the serving pool mid-run.
+type Outage struct {
+	// Device indexes the fleet's device list.
+	Device int
+	// At is the failure time in virtual nanoseconds (> 0).
+	At float64
+}
+
+// OutageSchedule draws a deterministic device-failure campaign: count
+// distinct devices out of a fleet of the given size, each failing at a
+// uniformly drawn time in (0, horizonNs], sorted by failure time (ties
+// by device index). The seed fully determines the schedule, so a
+// campaign replays byte-identically; count is clamped to devices-1 —
+// a campaign never kills the whole fleet.
+func OutageSchedule(seed int64, devices, count int, horizonNs float64) ([]Outage, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("fault: outage schedule over %d devices", devices)
+	}
+	if horizonNs <= 0 {
+		return nil, fmt.Errorf("fault: outage horizon %g ns", horizonNs)
+	}
+	if count < 0 {
+		count = 0
+	}
+	if count > devices-1 {
+		count = devices - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(devices)[:count]
+	out := make([]Outage, count)
+	for i, d := range perm {
+		// (0, horizon]: a FailAt of exactly 0 means "never" downstream.
+		t := rng.Float64() * horizonNs
+		for t == 0 {
+			t = rng.Float64() * horizonNs
+		}
+		out[i] = Outage{Device: d, At: t}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package fault
+
+import "testing"
+
+func TestOutageScheduleDeterministic(t *testing.T) {
+	a, err := OutageSchedule(7, 8, 3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OutageSchedule(7, 8, 3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("schedule lengths %d/%d, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := OutageSchedule(8, 8, 3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical campaigns")
+	}
+}
+
+func TestOutageScheduleShape(t *testing.T) {
+	out, err := OutageSchedule(1, 4, 10, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("count not clamped to devices-1: got %d outages", len(out))
+	}
+	seen := map[int]bool{}
+	last := 0.0
+	for _, o := range out {
+		if o.Device < 0 || o.Device >= 4 {
+			t.Errorf("device %d out of range", o.Device)
+		}
+		if seen[o.Device] {
+			t.Errorf("device %d killed twice", o.Device)
+		}
+		seen[o.Device] = true
+		if o.At <= 0 || o.At > 5e5 {
+			t.Errorf("outage at %g outside (0, 5e5]", o.At)
+		}
+		if o.At < last {
+			t.Errorf("schedule not sorted: %g after %g", o.At, last)
+		}
+		last = o.At
+	}
+}
+
+func TestOutageScheduleErrors(t *testing.T) {
+	if _, err := OutageSchedule(1, 0, 1, 1e6); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := OutageSchedule(1, 4, 1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if out, err := OutageSchedule(1, 4, -2, 1e6); err != nil || len(out) != 0 {
+		t.Errorf("negative count: got %v, %v; want empty, nil", out, err)
+	}
+}

@@ -20,6 +20,11 @@ type ModelShape struct {
 // Backend models one shard's device: the virtual-time cost of serving a
 // k-way batch of one model. Implementations must be deterministic and
 // safe for use from the single worker goroutine that owns the shard.
+//
+// This interface is the layer boundary the fleet stack routes through:
+// internal/cluster declares an identical interface and the concrete
+// backends below satisfy it structurally, so a whole device is a
+// routable target without cluster importing any shard internals.
 type Backend interface {
 	// Name labels the backend in reports ("newton", "gpu", ...).
 	Name() string

@@ -151,6 +151,12 @@ func (c Config) hostOptions() host.Options {
 // simultaneously in different channels"). Channels share nothing, so a
 // partition behaves exactly like a smaller device; concurrent partitions'
 // wall-clock time is the maximum of their clocks, not the sum.
+//
+// Split validates the partition exactly: it needs at least one part,
+// every part must be >= 1 channel, and the parts must sum to exactly
+// c.Channels — a partition never leaves channels idle and never
+// oversubscribes them. Each returned sub-config inherits everything
+// else (banks, options, fault plan) from c unchanged.
 func (c Config) Split(parts ...int) ([]Config, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("newton: Split needs at least one part")

@@ -12,4 +12,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== cluster determinism: go test -race -count=2 -run 'TestClusterDeterminism|TestDrainByteIdenticalRace' ./internal/cluster"
+go test -race -count=2 -run 'TestClusterDeterminism|TestDrainByteIdenticalRace' ./internal/cluster
 echo "ok"
