@@ -20,7 +20,7 @@ test:
 
 # Wall-clock performance gate: benchmark smoke over every Benchmark*
 # (including BenchmarkCluster's fleet study), then a serial-vs-parallel
-# perf report written to BENCH_PR6.json and schema-checked (see
+# perf report written to BENCH_PR7.json and schema-checked (see
 # scripts/bench.sh for the knobs).
 bench:
 	./scripts/bench.sh

@@ -235,6 +235,28 @@ func BenchmarkCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkE2E runs the whole-model serving study: GNMT/BERT/DLRM each
+// compiled to a single on-device ISR program (no host round trip
+// between layers) against the per-layer host loop, reporting the
+// per-model and geometric-mean speedups under the conservative
+// round-trip estimate.
+func BenchmarkE2E(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, mean, err := cfg.E2E(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean, "geomean_x")
+		for _, r := range rows {
+			b.ReportMetric(r.Ratio, r.Name+"_x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.RenderE2E(rows, mean))
+		}
+	}
+}
+
 // BenchmarkMatVecGNMT measures raw simulator throughput on one GNMT-s1
 // product: how long the host machine takes to simulate a 5.3 us Newton
 // operation.

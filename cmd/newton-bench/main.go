@@ -41,7 +41,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, model, noreuse, families, multitenant, channels, serving, cluster, fault, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, e2e, model, noreuse, families, multitenant, channels, serving, cluster, fault, or all")
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
@@ -180,6 +180,21 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.RenderFig8EndToEnd(rows, mean))
+		return nil
+	})
+	run("e2e", func() error {
+		rows, mean, err := cfg.E2E(nil)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("e2e", struct {
+			Rows       []experiments.E2ERow
+			MeanRatio  float64
+			RoundTrips []int64
+		}{rows, mean, experiments.E2ERoundTrips}); err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderE2E(rows, mean))
 		return nil
 	})
 	run("9", func() error {

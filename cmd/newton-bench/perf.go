@@ -17,6 +17,7 @@ import (
 	"newton/internal/experiments"
 	"newton/internal/host"
 	"newton/internal/layout"
+	"newton/internal/nn"
 	"newton/internal/obs"
 	"newton/internal/workloads"
 )
@@ -24,11 +25,15 @@ import (
 // PerfSchema tags the -perf report format; scripts/bench.sh and the CI
 // benchmark-smoke job validate reports against it with -checkperf. v2
 // added the observability-overhead side (obs-on serial measurement and
-// its relative cost) and gated the obs-off allocation budgets. v3 adds
+// its relative cost) and gated the obs-off allocation budgets. v3 added
 // the fleet section: a 4-device cluster replay's virtual-time capacity,
 // wall cost per routed request, and router overhead over a single
-// device, with its own byte-identity verdict.
-const PerfSchema = "newton-bench-perf/v3"
+// device, with its own byte-identity verdict. v4 adds the e2e section:
+// whole-model on-device serving (one ISR program per inference) against
+// the per-layer host loop, with per-model speedups, the numeric
+// envelope, a device-rerun byte-identity verdict, and the wall cost of
+// one on-device inference.
+const PerfSchema = "newton-bench-perf/v4"
 
 // obsOffAllocBudgets pins the serial obs-off allocation cost of each MVM
 // workload (allocs per RunMVM with no registry attached), at the levels
@@ -98,7 +103,40 @@ type FleetPerf struct {
 	Identical bool `json:"byte_identical"`
 }
 
-// PerfReport is the BENCH_PR6.json payload: the simulator's wall-clock
+// E2EModelPerf is one model's whole-model serving comparison inside the
+// v4 e2e section, lifted from the experiment's E2ERow.
+type E2EModelPerf struct {
+	Name string `json:"name"`
+	// DeviceCycles is the single-ISR-program inference time;
+	// HostLoopCycles the per-layer host loop under the conservative
+	// round-trip estimate. Ratio is their quotient: the on-device
+	// serving speedup.
+	DeviceCycles   int64   `json:"device_cycles"`
+	HostLoopCycles int64   `json:"host_loop_cycles"`
+	Ratio          float64 `json:"speedup"`
+	// Instrs is the compiled program length; MaxAbsDiff the largest
+	// divergence between the device output and the per-layer output
+	// (zero on the exact multi-chunk path, bounded by the bfloat16 LUT
+	// envelope on single-chunk activation layers).
+	Instrs     int     `json:"program_instrs"`
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// E2EPerf is the v4 e2e section: the whole-model serving study plus a
+// wall-clock price and a determinism verdict for the ISR device path.
+type E2EPerf struct {
+	Models         []E2EModelPerf `json:"models"`
+	GeomeanSpeedup float64        `json:"geomean_speedup"`
+	// NsPerInference is the wall-clock cost of one whole-model on-device
+	// inference (compile + frontend replay) of the smallest stack, DLRM.
+	NsPerInference int64 `json:"ns_per_inference"`
+	// Identical records that two independently placed and compiled
+	// device runs of the same model produced bit-identical outputs,
+	// cycle counts and refresh counts.
+	Identical bool `json:"byte_identical"`
+}
+
+// PerfReport is the BENCH_PR7.json payload: the simulator's wall-clock
 // performance trajectory, measured from one code path.
 type PerfReport struct {
 	Schema     string `json:"schema"`
@@ -117,6 +155,8 @@ type PerfReport struct {
 	Benchmarks       []PerfEntry `json:"benchmarks"`
 	// Fleet is the cluster-router measurement (required since v3).
 	Fleet *FleetPerf `json:"fleet"`
+	// E2E is the whole-model serving measurement (required since v4).
+	E2E *E2EPerf `json:"e2e"`
 }
 
 // perfWorkloads are the MVM benchmarks: the largest Table II layer
@@ -430,6 +470,100 @@ func perfFleet(channels, banks int, seed int64) (*FleetPerf, error) {
 	return fp, nil
 }
 
+// perfE2E measures the v4 e2e section: the whole-model serving study at
+// the report's configuration, a device-rerun determinism check, and the
+// wall cost of one on-device DLRM inference.
+func perfE2E(channels, banks int, seed int64) (*E2EPerf, error) {
+	cfg := experiments.Default()
+	cfg.Channels = channels
+	cfg.Banks = banks
+	cfg.Seed = seed
+	rows, mean, err := cfg.E2E(nil)
+	if err != nil {
+		return nil, err
+	}
+	ep := &E2EPerf{GeomeanSpeedup: mean}
+	for _, r := range rows {
+		ep.Models = append(ep.Models, E2EModelPerf{
+			Name:           r.Name,
+			DeviceCycles:   r.DeviceCycles,
+			HostLoopCycles: r.HostLoopCycles[len(r.HostLoopCycles)-1],
+			Ratio:          r.Ratio,
+			Instrs:         r.DeviceInstrs,
+			MaxAbsDiff:     r.MaxAbsDiff,
+		})
+	}
+
+	// Determinism: two independently placed and compiled device runs of
+	// DLRM must agree bit for bit.
+	spec := workloads.DLRM()
+	input := make([]float32, spec.InputWidth())
+	for i := range input {
+		input[i] = float32(i%7)/7 - 0.5
+	}
+	deviceRun := func() (*host.Controller, *nn.DeviceRunResult, error) {
+		geo := dram.HBM2EGeometry(channels)
+		geo.Banks = banks
+		ctrl, err := host.NewController(dram.Config{Geometry: geo, Timing: dram.AiMTiming()}, host.Newton())
+		if err != nil {
+			return nil, nil, err
+		}
+		pm, err := nn.PlaceModel(ctrl, spec, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := nn.RunOnDevice(ctrl, pm, input)
+		return ctrl, res, err
+	}
+	_, a, err := deviceRun()
+	if err != nil {
+		return nil, err
+	}
+	_, b, err := deviceRun()
+	if err != nil {
+		return nil, err
+	}
+	ep.Identical = a.Cycles == b.Cycles && a.Refreshes == b.Refreshes &&
+		a.Instrs == b.Instrs && len(a.Output) == len(b.Output)
+	if ep.Identical {
+		for i := range a.Output {
+			if math.Float32bits(a.Output[i]) != math.Float32bits(b.Output[i]) {
+				ep.Identical = false
+				break
+			}
+		}
+	}
+
+	// Wall cost of one inference through the executor (compile + replay).
+	ctrl, _, err := deviceRun()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := nn.PlaceModel(ctrl, spec, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := nn.NewExecutor(ctrl, pm)
+	if err != nil {
+		return nil, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := ex.Run(input); err != nil {
+				benchErr = err
+				tb.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	ep.NsPerInference = r.NsPerOp()
+	return ep, nil
+}
+
 // runPerf measures the report and writes it to path.
 func runPerf(channels, banks int, seed int64, path string) error {
 	rep := PerfReport{
@@ -461,6 +595,10 @@ func runPerf(channels, banks int, seed int64, path string) error {
 	if rep.Fleet, err = perfFleet(channels, banks, seed); err != nil {
 		return fmt.Errorf("perf fleet: %w", err)
 	}
+	fmt.Fprintf(os.Stderr, "perf: measuring e2e...\n")
+	if rep.E2E, err = perfE2E(channels, banks, seed); err != nil {
+		return fmt.Errorf("perf e2e: %w", err)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -483,6 +621,10 @@ func runPerf(channels, banks int, seed int64, path string) error {
 		fmt.Printf("fleet        %d devices  %.2fM qps served @ %.0fM offered  %d ns/request (single-device %d, router overhead %+.1f%%)  identical=%v\n",
 			f.Devices, f.FleetQPS/1e6, f.OfferedQPS/1e6,
 			f.NsPerRequest, f.SingleNsPerRequest, f.RouterOverheadPct, f.Identical)
+	}
+	if e := rep.E2E; e != nil {
+		fmt.Printf("e2e          %d models  geomean on-device speedup %.2fx  %d ns/inference (DLRM)  identical=%v\n",
+			len(e.Models), e.GeomeanSpeedup, e.NsPerInference, e.Identical)
 	}
 	fmt.Printf("conformance: %d commands checked, %d violations (gomaxprocs=%d, cpus=%d)\n",
 		rep.VerifyCommands, rep.VerifyViolations, rep.GOMAXPROCS, rep.CPUs)
@@ -552,6 +694,41 @@ func checkPerf(path string) error {
 	if !f.Identical {
 		return fmt.Errorf("%s: fleet failed the rebuild byte-identity check", path)
 	}
-	fmt.Printf("%s: valid %s report, %d benchmarks + fleet, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
+	e := rep.E2E
+	if e == nil {
+		return fmt.Errorf("%s: missing e2e section (required since %s)", path, PerfSchema)
+	}
+	if len(e.Models) < 3 {
+		return fmt.Errorf("%s: e2e covers %d models, want >= 3", path, len(e.Models))
+	}
+	exact := false
+	for _, m := range e.Models {
+		if m.Ratio < 1.0 {
+			return fmt.Errorf("%s: e2e %s on-device speedup %.2fx is below 1.0x (the single-program path regressed)",
+				path, m.Name, m.Ratio)
+		}
+		if m.Instrs <= 0 || m.DeviceCycles <= 0 {
+			return fmt.Errorf("%s: e2e %s has a degenerate device run", path, m.Name)
+		}
+		if m.MaxAbsDiff > 4 {
+			return fmt.Errorf("%s: e2e %s max |diff| %.3g exceeds the documented LUT envelope", path, m.Name, m.MaxAbsDiff)
+		}
+		if m.MaxAbsDiff == 0 {
+			exact = true
+		}
+	}
+	if !exact {
+		return fmt.Errorf("%s: no e2e model on the exact (bit-identical) path", path)
+	}
+	if e.GeomeanSpeedup < 1.0 {
+		return fmt.Errorf("%s: e2e geomean speedup %.2fx is below 1.0x", path, e.GeomeanSpeedup)
+	}
+	if e.NsPerInference <= 0 {
+		return fmt.Errorf("%s: e2e has non-positive ns/inference", path)
+	}
+	if !e.Identical {
+		return fmt.Errorf("%s: e2e failed the device-rerun byte-identity check", path)
+	}
+	fmt.Printf("%s: valid %s report, %d benchmarks + fleet + e2e, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
 	return nil
 }

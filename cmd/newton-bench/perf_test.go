@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"newton/internal/host"
+)
+
+// TestCheckPerfCommittedReport validates the checked-in trajectory the
+// same way CI does.
+func TestCheckPerfCommittedReport(t *testing.T) {
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR7.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutateReport loads the committed report, applies f, writes the
+// result to a temp file and returns checkPerf's error on it.
+func mutateReport(t *testing.T, f func(*PerfReport)) error {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR7.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	f(&rep)
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return checkPerf(path)
+}
+
+// TestCheckPerfCatches breaks the committed report one field at a time;
+// every mutation must fail validation with a message naming the cause.
+func TestCheckPerfCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PerfReport)
+		want   string
+	}{
+		{"schema drift", func(r *PerfReport) { r.Schema = "newton-bench-perf/v3" }, "schema"},
+		{"missing env", func(r *PerfReport) { r.GoVersion = "" }, "environment"},
+		{"no benchmarks", func(r *PerfReport) { r.Benchmarks = nil }, "no benchmarks"},
+		{"identity failure", func(r *PerfReport) { r.Benchmarks[0].Identical = false }, "identity"},
+		{"alloc regression", func(r *PerfReport) { r.Benchmarks[0].Serial.AllocsPerOp = 10000 }, "budget"},
+		{"violations", func(r *PerfReport) { r.VerifyViolations = 3 }, "violations"},
+		{"missing fleet", func(r *PerfReport) { r.Fleet = nil }, "fleet"},
+		{"fleet too small", func(r *PerfReport) { r.Fleet.Devices = 1 }, "devices"},
+		{"fleet capacity", func(r *PerfReport) { r.Fleet.FleetQPS = 1 }, "floor"},
+		{"fleet identity", func(r *PerfReport) { r.Fleet.Identical = false }, "identity"},
+		{"missing e2e", func(r *PerfReport) { r.E2E = nil }, "e2e"},
+		{"e2e too few models", func(r *PerfReport) { r.E2E.Models = r.E2E.Models[:1] }, "models"},
+		{"e2e regressed", func(r *PerfReport) { r.E2E.Models[0].Ratio = 0.5 }, "below 1.0x"},
+		{"e2e envelope", func(r *PerfReport) { r.E2E.Models[0].MaxAbsDiff = 100 }, "envelope"},
+		{"e2e no exact model", func(r *PerfReport) {
+			for i := range r.E2E.Models {
+				r.E2E.Models[i].MaxAbsDiff = 0.5
+			}
+		}, "exact"},
+		{"e2e identity", func(r *PerfReport) { r.E2E.Identical = false }, "identity"},
+		{"e2e degenerate", func(r *PerfReport) { r.E2E.Models[0].Instrs = 0 }, "degenerate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mutateReport(t, tc.mutate)
+			if err == nil {
+				t.Fatal("mutation passed validation")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckPerfMissingFile(t *testing.T) {
+	if err := checkPerf(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file passed validation")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPerf(bad); err == nil {
+		t.Fatal("malformed JSON passed validation")
+	}
+}
+
+// TestPerfEntryMVM runs the full per-workload measurement on the small
+// DLRM layer at a reduced channel count: serial/parallel/observed
+// sides, the bit-identity check and the conformance verdict.
+func TestPerfEntryMVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real benchmarks")
+	}
+	ws := perfWorkloads()
+	if len(ws) != 3 {
+		t.Fatalf("perfWorkloads() = %v", ws)
+	}
+	var b = ws[2] // DLRM-s1
+	if b.Name != "DLRM-s1" {
+		t.Fatalf("workload order changed: %v", ws)
+	}
+	var rep PerfReport
+	entry, err := perfEntryMVM(2, 16, 42, b, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entry.Identical {
+		t.Error("serial and parallel DLRM-s1 runs differ")
+	}
+	if entry.Serial.NsPerOp <= 0 || entry.Parallel.NsPerOp <= 0 || entry.Observed.NsPerOp <= 0 {
+		t.Errorf("non-positive measurement: %+v", entry)
+	}
+	if entry.SimCycles <= 0 || entry.Serial.SimCyclesPerSec <= 0 {
+		t.Errorf("missing simulated-cycle accounting: %+v", entry)
+	}
+	if rep.VerifyCommands <= 0 || rep.VerifyViolations != 0 {
+		t.Errorf("conformance verdict: %d commands, %d violations", rep.VerifyCommands, rep.VerifyViolations)
+	}
+}
+
+// TestMVMIdentical exercises the comparison's mismatch arms.
+func TestMVMIdentical(t *testing.T) {
+	ctrl, p, v, err := mvmSetup(1, 16, 42, perfWorkloads()[2], host.ParallelOff, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mvmIdentical(res, res) {
+		t.Error("a result must be identical to itself")
+	}
+	other := *res
+	other.Cycles++
+	if mvmIdentical(res, &other) {
+		t.Error("cycle mismatch not detected")
+	}
+	short := *res
+	short.Output = res.Output[:len(res.Output)-1]
+	if mvmIdentical(res, &short) {
+		t.Error("length mismatch not detected")
+	}
+	flipped := *res
+	flipped.Output = append([]float32(nil), res.Output...)
+	flipped.Output[0] += 1
+	if mvmIdentical(res, &flipped) {
+		t.Error("output mismatch not detected")
+	}
+}

@@ -7,10 +7,19 @@
 // Usage:
 //
 //	newton-replay -in trace.txt [-strict] [-banks N] [-latches N]
+//	newton-replay -isr prog.isr [-channels N]
 //
 // In strict mode any timing violation aborts with the offending entry;
 // otherwise violating commands are re-scheduled at their earliest legal
 // cycle and the number of shifts is reported.
+//
+// With -isr the input is a textual ISR program (the format
+// isr.Encode emits and nn.Executor compiles to): it is statically
+// checked, then executed through a full Verify-enabled controller by
+// the ISR frontend, and the readback, MARK stamps and end-to-end
+// cycle count are reported. Compiled programs are self-contained —
+// the input vector and concrete DRAM rows are embedded — so a program
+// captured from one process replays bit-identically in another.
 package main
 
 import (
@@ -22,21 +31,29 @@ import (
 	"newton/internal/aim"
 	"newton/internal/conformance"
 	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/isr"
 	"newton/internal/traceio"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-replay: ")
-	in := flag.String("in", "", "trace file (required; - for stdin)")
+	in := flag.String("in", "", "command trace file (- for stdin)")
+	isrIn := flag.String("isr", "", "ISR program file to replay instead of a command trace (- for stdin)")
 	strict := flag.Bool("strict", false, "abort on the first timing violation")
 	banks := flag.Int("banks", 16, "banks in the replay channel")
+	channels := flag.Int("channels", 1, "channels in the ISR replay device")
 	latches := flag.Int("latches", 1, "result latches per bank")
 	conventional := flag.Bool("conventional-tfaw", false, "use the conventional (non-AiM) tFAW")
 	audit := flag.Bool("audit", true, "also re-verify the trace with the independent rule auditor")
 	verify := flag.Bool("verify", true, "also run the trace through the protocol-conformance checker")
 	flag.Parse()
 
+	if *isrIn != "" {
+		replayISR(*isrIn, *channels, *verify)
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -105,5 +122,56 @@ func main() {
 		rep.Stats.ColumnReads, rep.Stats.InternalBytesRead, rep.Stats.BytesRead)
 	if len(rep.Results) > 0 {
 		fmt.Printf("result reads:  %d (first: %.4g ...)\n", len(rep.Results), rep.Results[0][0])
+	}
+}
+
+// replayISR statically checks and executes a textual ISR program on a
+// fresh device.
+func replayISR(path string, channels int, verify bool) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		if f, err = os.Open(path); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	prog, err := isr.Parse(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := dram.Config{Geometry: dram.HBM2EGeometry(channels), Timing: dram.AiMTiming()}
+	opts := host.Newton()
+	opts.Verify = verify
+	if err := isr.CheckProgram(prog, cfg.Geometry, opts.Latches()); err != nil {
+		log.Fatalf("static check: %v", err)
+	}
+	fmt.Printf("static check:  %d instructions clean\n", len(prog.Instrs))
+
+	c, err := host.NewController(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := isr.NewFrontend(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fe.Run(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verify {
+		fmt.Println("conformance:   0 violations (checked at issue)")
+	}
+	fmt.Printf("executed:      %d instructions\n", rep.Instrs)
+	fmt.Printf("cycles:        %d\n", rep.EndCycle-rep.StartCycle)
+	st := c.Stats()
+	fmt.Printf("activations:   %d, refreshes: %d\n", st.Activations, st.Refreshes)
+	for _, m := range rep.Marks {
+		fmt.Printf("mark %-3d       cycle %d\n", m.ID, m.Cycle)
+	}
+	if n := len(rep.Readback); n > 0 {
+		fmt.Printf("readback:      %d elements (first: %.6g)\n", n, rep.Readback[0])
 	}
 }

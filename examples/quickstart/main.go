@@ -82,4 +82,28 @@ func main() {
 		float64(bstats.Cycles)/float64(stats.Cycles), predicted)
 	fmt.Printf("max |error| vs fp32: %.4f (bfloat16 datapath)\n", maxDiff)
 	fmt.Printf("avg power:           %.2fx conventional DRAM\n", sys.PowerOf(stats).AvgPower)
+
+	// Whole-model serving: a small two-layer MLP compiled to a single
+	// on-device ISR program - activations and the layer-to-layer handoff
+	// run at the device, with no host round trip between layers.
+	mlp := newton.Model{Name: "mlp", Layers: []newton.Layer{
+		{Name: "hidden", Rows: 256, Cols: 1024, Act: newton.ActTanh},
+		{Name: "out", Rows: 64, Cols: 256, Act: newton.ActReLU},
+	}}
+	mpm, err := sys.LoadModel(mlp, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := sys.CompileModel(mpm, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mres, err := sys.RunModelOnDevice(mpm, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhole-model serving: %q as one ISR program (%d instructions)\n",
+		mlp.Name, cm.Instructions())
+	fmt.Printf("on-device inference: %d ns across %d layers, %d outputs\n",
+		mres.Cycles, len(mres.LayerCycles), len(mres.Output))
 }

@@ -37,6 +37,11 @@ type Engine struct {
 	// resScratch is the READRES result buffer, reused across commands so
 	// the result read allocates nothing.
 	resScratch bf16.Vector
+	// biasScratch decodes WR_BIAS payloads (one lane per bank) and
+	// wireScratch re-encodes a buffer slot for COPY_GBBK, both reused so
+	// the bias/copy commands allocate nothing.
+	biasScratch bf16.Vector
+	wireScratch []byte
 
 	// obs, when set, is notified of every successfully issued command.
 	obs dram.Observer
@@ -60,6 +65,8 @@ func NewEngineWithLatches(ch *dram.Channel, latches int) *Engine {
 		hasFilter:     make([]bool, geo.Banks),
 		filterScratch: make([]bf16.Vector, geo.Banks),
 		resScratch:    make(bf16.Vector, geo.Banks),
+		biasScratch:   make(bf16.Vector, geo.Banks),
+		wireScratch:   make([]byte, geo.ColBytes()),
 	}
 	for i := range e.macs {
 		e.macs[i] = NewMACUnitWithLatches(lanes, latches)
@@ -102,11 +109,14 @@ func (e *Engine) chCmd(cmd dram.Command) dram.Command {
 }
 
 // EarliestIssue forwards to the channel's timing checker; AiM compute
-// state imposes no additional issue-time constraints except for READRES,
-// which must wait for every adder-tree pipeline to drain.
+// state imposes no additional issue-time constraints except for the
+// latch readers and writers (READRES, RD_AF, WR_BIAS), which must wait
+// for every adder-tree pipeline to drain — reading mid-flight would
+// return a torn partial sum, and a bias preload would race the tree's
+// writeback.
 func (e *Engine) EarliestIssue(cmd dram.Command, from int64) int64 {
 	earliest := e.ch.EarliestIssue(e.chCmd(cmd), from)
-	if cmd.Kind == dram.KindREADRES {
+	if waitsForDrain(cmd.Kind) {
 		for _, m := range e.macs {
 			if r := m.ReadyAt(); r > earliest {
 				earliest = r
@@ -114,6 +124,13 @@ func (e *Engine) EarliestIssue(cmd dram.Command, from int64) int64 {
 		}
 	}
 	return earliest
+}
+
+// waitsForDrain reports whether a kind touches the result latches and
+// therefore must wait for the adder-tree pipelines (§III-D timing
+// issue 2, extended to the ISR-era latch commands).
+func waitsForDrain(k dram.Kind) bool {
+	return k == dram.KindREADRES || k == dram.KindRDAF || k == dram.KindWRBIAS
 }
 
 // Result carries the outcome of an issued command.
@@ -132,11 +149,11 @@ type Result struct {
 // Issue executes cmd at the given cycle: the channel checks timing and
 // performs bank effects, then the engine applies compute semantics.
 func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
-	if cmd.Kind == dram.KindREADRES {
+	if waitsForDrain(cmd.Kind) {
 		// The host must have inserted the adder-tree drain delay.
 		if earliest := e.EarliestIssue(cmd, cycle); earliest > cycle {
 			return Result{}, &dram.Error{Cmd: cmd, Cycle: cycle, Earliest: earliest,
-				Reason: "READRES before adder-tree pipelines drained"}
+				Reason: cmd.Kind.String() + " before adder-tree pipelines drained"}
 		}
 	}
 	res, err := e.ch.Issue(e.chCmd(cmd), cycle)
@@ -227,6 +244,52 @@ func (e *Engine) Issue(cmd dram.Command, cycle int64) (Result, error) {
 			e.lut.ApplyInPlace(e.resScratch)
 		}
 		out.Results = e.resScratch
+
+	case dram.KindRDAF:
+		// READRES through the activation-function table selected by the
+		// command: the per-channel LUT sits between the latches and the
+		// bus, so results leave the device already activated. AFNone
+		// passes through (the channel has validated the selector).
+		for b, m := range e.macs {
+			e.resScratch[b] = m.ResultLatch(cmd.Latch)
+			m.ResetLatch(cmd.Latch)
+		}
+		if lut := StandardLUT(cmd.AF); lut != nil {
+			lut.ApplyInPlace(e.resScratch)
+		}
+		out.Results = e.resScratch
+
+	case dram.KindWRBIAS:
+		// One bf16 lane per bank preloads that bank's result latch; the
+		// channel has validated the payload length.
+		bf16.DecodeInto(e.biasScratch, cmd.Data)
+		for b, m := range e.macs {
+			if err := m.PreloadLatch(cmd.Latch, e.biasScratch[b]); err != nil {
+				return Result{}, err
+			}
+		}
+
+	case dram.KindEWMUL, dram.KindEWADD:
+		if err := e.gbuf.EWOp(cmd.Col, cmd.Slot, cmd.Kind == dram.KindEWMUL); err != nil {
+			return Result{}, err
+		}
+
+	case dram.KindCOPYBKGB:
+		// res.Data views the bank's open row; land it in the buffer slot.
+		if err := e.gbuf.WriteSlot(cmd.Slot, res.Data); err != nil {
+			return Result{}, err
+		}
+		out.Data = nil // consumed internally; nothing crosses the bus
+
+	case dram.KindCOPYGBBK:
+		// The channel performed the timing/state transition; store the
+		// slot's bytes into the open row functionally.
+		if err := e.gbuf.EncodeSlot(cmd.Slot, e.wireScratch); err != nil {
+			return Result{}, err
+		}
+		if err := e.ch.Bank(cmd.Bank).WriteColumn(cmd.Col, e.wireScratch); err != nil {
+			return Result{}, err
+		}
 	}
 	if e.obs != nil {
 		e.obs.Observe(cmd, cycle)

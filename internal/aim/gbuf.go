@@ -91,6 +91,48 @@ func (g *GlobalBuffer) SubChunkView(slot int) (bf16.Vector, error) {
 	return g.data[slot*lanes : (slot+1)*lanes], nil
 }
 
+// EWOp applies one element-wise ALU step in the buffer's SRAM:
+// slot dst becomes dst*src (mul) or dst+src (add), lane-wise in bf16.
+// Both slots must have been written; the destination stays valid.
+func (g *GlobalBuffer) EWOp(dst, src int, mul bool) error {
+	a, err := g.SubChunkView(dst)
+	if err != nil {
+		return err
+	}
+	b, err := g.SubChunkView(src)
+	if err != nil {
+		return err
+	}
+	if mul {
+		for i := range a {
+			a[i] = bf16.Mul(a[i], b[i])
+		}
+	} else {
+		for i := range a {
+			a[i] = bf16.Add(a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// EncodeSlot serializes one slot's lanes into dst (little-endian bf16
+// wire format, laneBits/8 bytes), for COPY_GBBK's buffer-to-bank move.
+func (g *GlobalBuffer) EncodeSlot(slot int, dst []byte) error {
+	view, err := g.SubChunkView(slot)
+	if err != nil {
+		return err
+	}
+	if len(dst) != g.laneBits/8 {
+		return fmt.Errorf("aim: EncodeSlot buffer is %d bytes, slot is %d", len(dst), g.laneBits/8)
+	}
+	for i, x := range view {
+		b := x.Bits()
+		dst[2*i] = byte(b)
+		dst[2*i+1] = byte(b >> 8)
+	}
+	return nil
+}
+
 // Invalidate marks every slot stale, as when a new input-vector chunk is
 // about to be loaded.
 func (g *GlobalBuffer) Invalidate() {

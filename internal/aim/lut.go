@@ -1,6 +1,12 @@
 package aim
 
-import "newton/internal/bf16"
+import (
+	"math"
+	"sync"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+)
 
 // LUT is the per-channel neural-activation look-up table used by the
 // Newton-no-reuse variant, where activations must be applied inside the
@@ -45,4 +51,47 @@ func (l *LUT) ApplyInPlace(v bf16.Vector) {
 	for i, x := range v {
 		v[i] = l.table[x.Bits()]
 	}
+}
+
+// Standard activation tables for the RD_AF command, keyed by the
+// dram.AF* selector values. The scalar formulas are the exact
+// expressions internal/nn's Activation.Func uses (a cross-package test
+// pins the equivalence), so a device-side RD_AF computes the same
+// function the host-side per-layer path would — modulo the bf16
+// rounding of the table's input, which is the documented ULP envelope.
+//
+// Each 128 KB table is built once, lazily, and shared by every engine:
+// a 24-channel system pays for three tables, not seventy-two.
+var (
+	stdLUTOnce [dram.AFCount]sync.Once
+	stdLUTs    [dram.AFCount]*LUT
+)
+
+// StandardLUT returns the shared table for one AF selector, or nil for
+// AFNone (identity: RD_AF passes the latch through) and out-of-range
+// selectors (the channel rejects those before execution reaches here).
+func StandardLUT(af int) *LUT {
+	if af <= dram.AFNone || af >= dram.AFCount {
+		return nil
+	}
+	stdLUTOnce[af].Do(func() {
+		switch af {
+		case dram.AFReLU:
+			stdLUTs[af] = NewLUT("relu", func(x float32) float32 {
+				if x < 0 {
+					return 0
+				}
+				return x
+			})
+		case dram.AFSigmoid:
+			stdLUTs[af] = NewLUT("sigmoid", func(x float32) float32 {
+				return float32(1 / (1 + math.Exp(-float64(x))))
+			})
+		case dram.AFTanh:
+			stdLUTs[af] = NewLUT("tanh", func(x float32) float32 {
+				return float32(math.Tanh(float64(x)))
+			})
+		}
+	})
+	return stdLUTs[af]
 }

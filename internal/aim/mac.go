@@ -154,6 +154,18 @@ func (m *MACUnit) AccumulateLatch(latch int, filter, input bf16.Vector, cycle, t
 	return nil
 }
 
+// PreloadLatch seeds one result latch with a value (the WR_BIAS
+// command): subsequent accumulations add onto it, so a bias rides along
+// for free instead of costing a host-side add after readout.
+func (m *MACUnit) PreloadLatch(latch int, v bf16.Num) error {
+	if latch < 0 || latch >= len(m.latches) {
+		return fmt.Errorf("aim: latch %d out of range [0,%d)", latch, len(m.latches))
+	}
+	m.latches[latch] = v
+	m.hasValue[latch] = true
+	return nil
+}
+
 // Result returns latch 0's value and the cycle from which it is valid.
 func (m *MACUnit) Result() (bf16.Num, int64) { return m.latches[0], m.readyAt }
 

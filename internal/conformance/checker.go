@@ -459,6 +459,61 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 			}
 		}
 
+	case dram.KindRDAF:
+		// RD_AF maturity: same latch-read hazard as READRES, plus the
+		// selector must name a configured activation table.
+		checkLatch(cmd.Latch)
+		if cmd.AF < 0 || cmd.AF >= dram.AFCount {
+			add(RuleProtocol, "RD_AF selector %d out of range [0,%d)", cmd.AF, dram.AFCount)
+		}
+		for i := range c.banks {
+			if cycle < c.banks[i].readyAt {
+				add(RuleTMAC, "bank %d adder tree drains at cycle %d", i, c.banks[i].readyAt)
+			}
+		}
+
+	case dram.KindWRBIAS:
+		// A bias preload overwrites the latches, so it must not race an
+		// in-flight accumulation's writeback.
+		checkLatch(cmd.Latch)
+		if len(cmd.Data) != 2*len(c.banks) {
+			add(RuleProtocol, "WR_BIAS payload is %d bytes, want 2 per bank (%d)",
+				len(cmd.Data), 2*len(c.banks))
+		}
+		for i := range c.banks {
+			if cycle < c.banks[i].readyAt {
+				add(RuleTMAC, "bank %d adder tree drains at cycle %d", i, c.banks[i].readyAt)
+			}
+		}
+
+	case dram.KindEWMUL, dram.KindEWADD:
+		// Element-wise ops read two buffer slots and write the first;
+		// both must have been written (the GB hazard rule).
+		if checkCol(cmd.Col) {
+			checkGbuf(cmd.Col)
+		}
+		if checkCol(cmd.Slot) {
+			checkGbuf(cmd.Slot)
+		}
+
+	case dram.KindCOPYBKGB:
+		checkChanCol()
+		if b := bank(cmd.Bank); b != nil {
+			checkBankCol(b, cmd.Bank)
+		}
+		checkCol(cmd.Col)
+		checkCol(cmd.Slot)
+
+	case dram.KindCOPYGBBK:
+		checkChanCol()
+		if b := bank(cmd.Bank); b != nil {
+			checkBankCol(b, cmd.Bank)
+		}
+		checkCol(cmd.Col)
+		if checkCol(cmd.Slot) {
+			checkGbuf(cmd.Slot)
+		}
+
 	default:
 		add(RuleProtocol, "unknown command kind %v", cmd.Kind)
 	}
@@ -607,6 +662,25 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 		if cmd.Col >= 0 && cmd.Col < len(c.gbufValid) {
 			c.gbufValid[cmd.Col] = true
 		}
+
+	case dram.KindCOPYBKGB:
+		if inRange(cmd.Bank) {
+			colAccess(cmd.Bank, false)
+		}
+		c.nextCol = cycle + t.TCCD
+		if cmd.Slot >= 0 && cmd.Slot < len(c.gbufValid) {
+			c.gbufValid[cmd.Slot] = true
+		}
+
+	case dram.KindCOPYGBBK:
+		if inRange(cmd.Bank) {
+			colAccess(cmd.Bank, true)
+		}
+		c.nextCol = cycle + t.TCCD
+
+		// WR_BIAS, RD_AF and the element-wise ops advance no timing
+		// shadows: they ride dedicated latch/buffer ports and only the
+		// bus-slot occupancy (recorded above) paces them.
 	}
 }
 

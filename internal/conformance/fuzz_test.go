@@ -153,7 +153,7 @@ func generate(cfg dram.Config, latches int, e *aim.Engine, c *conformance.Checke
 	var now int64
 	for !src.exhausted() && len(trace) < 512 {
 		var cmd dram.Command
-		switch src.intn(14) {
+		switch src.intn(20) {
 		case 0: // ACT
 			b, ok := anyIdle()
 			if !ok {
@@ -243,6 +243,54 @@ func generate(cfg dram.Config, latches int, e *aim.Engine, c *conformance.Checke
 			cmd = dram.Command{Kind: dram.KindCOMPBank, Bank: b, Col: col, Latch: src.intn(latches)}
 		case 13: // READRES
 			cmd = dram.Command{Kind: dram.KindREADRES, Latch: src.intn(latches)}
+		case 14: // WR_BIAS
+			data := make([]byte, 2*g.Banks)
+			seed := src.next()
+			for i := range data {
+				data[i] = seed + byte(i)
+			}
+			cmd = dram.Command{Kind: dram.KindWRBIAS, Latch: src.intn(latches), Data: data}
+		case 15: // RD_AF
+			cmd = dram.Command{Kind: dram.KindRDAF, Latch: src.intn(latches),
+				AF: src.intn(dram.AFCount)}
+		case 16: // EWMUL
+			dst, ok := anyGbuf()
+			if !ok {
+				continue
+			}
+			s, ok := anyGbuf()
+			if !ok {
+				continue
+			}
+			cmd = dram.Command{Kind: dram.KindEWMUL, Col: dst, Slot: s}
+		case 17: // EWADD
+			dst, ok := anyGbuf()
+			if !ok {
+				continue
+			}
+			s, ok := anyGbuf()
+			if !ok {
+				continue
+			}
+			cmd = dram.Command{Kind: dram.KindEWADD, Col: dst, Slot: s}
+		case 18: // COPY_BKGB
+			b, ok := anyOpen()
+			if !ok {
+				continue
+			}
+			slot := src.intn(g.Cols)
+			cmd = dram.Command{Kind: dram.KindCOPYBKGB, Bank: b, Col: src.intn(g.Cols), Slot: slot}
+			st.gbuf[slot] = true
+		case 19: // COPY_GBBK
+			b, ok := anyOpen()
+			if !ok {
+				continue
+			}
+			slot, ok := anyGbuf()
+			if !ok {
+				continue
+			}
+			cmd = dram.Command{Kind: dram.KindCOPYGBBK, Bank: b, Col: src.intn(g.Cols), Slot: slot}
 		}
 
 		// Both sides must agree on the earliest legal cycle: the engine's

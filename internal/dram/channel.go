@@ -188,7 +188,7 @@ func (ch *Channel) EarliestIssue(cmd Command, from int64) int64 {
 				earliest = b.nextPRE
 			}
 		}
-	case KindRD, KindWR, KindCOMPBank, KindCOLRD, KindMAC:
+	case KindRD, KindWR, KindCOMPBank, KindCOLRD, KindMAC, KindCOPYBKGB, KindCOPYGBBK:
 		if ch.nextCol > earliest {
 			earliest = ch.nextCol
 		}
@@ -210,9 +210,10 @@ func (ch *Channel) EarliestIssue(cmd Command, from int64) int64 {
 				earliest = b.nextACT
 			}
 		}
-	case KindGWRITE, KindBCAST, KindREADRES:
+	case KindGWRITE, KindBCAST, KindREADRES, KindWRBIAS, KindRDAF, KindEWMUL, KindEWADD:
 		// Command-slot paced only: the global buffer and result latches
-		// have dedicated ports.
+		// have dedicated ports (the element-wise ALU reads and writes the
+		// buffer's SRAM, never a bank).
 	}
 	return earliest
 }
@@ -389,9 +390,57 @@ func (ch *Channel) apply(cmd Command, cycle int64) (IssueResult, error) {
 		ch.compScratch[cmd.Bank] = d
 		return IssueResult{DataReady: cycle + t.TCCD, BankData: ch.compScratch}, nil
 
-	case KindMAC, KindBCAST, KindGWRITE:
+	case KindMAC, KindBCAST, KindGWRITE, KindEWMUL, KindEWADD:
 		// Pure datapath commands: no bank state. The aim package applies
 		// their functional effects; here they only consume a command slot.
+		return IssueResult{}, nil
+
+	case KindWRBIAS:
+		// One bf16 lane per bank, written straight into the result
+		// latches; no bank cells are touched.
+		if len(cmd.Data) != 2*len(ch.banks) {
+			return fail(fmt.Sprintf("WR_BIAS data is %d bytes, want 2 per bank (%d)",
+				len(cmd.Data), 2*len(ch.banks)))
+		}
+		return IssueResult{}, nil
+
+	case KindRDAF:
+		if cmd.AF < 0 || cmd.AF >= AFCount {
+			return fail(fmt.Sprintf("RD_AF selector %d out of range [0,%d)", cmd.AF, AFCount))
+		}
+		return IssueResult{DataReady: cycle + t.TAA}, nil
+
+	case KindCOPYBKGB:
+		// A column read whose data lands in the global buffer instead of
+		// crossing the external bus. Data views the bank's storage and is
+		// valid until the next Issue.
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		d, err := b.columnView(cmd.Col)
+		if err != nil {
+			return fail(err.Error())
+		}
+		b.columnAccess(cycle, t, false)
+		ch.nextCol = cycle + t.TCCD
+		return IssueResult{DataReady: cycle + t.TAA, Data: d}, nil
+
+	case KindCOPYGBBK:
+		// A column write sourced from the global buffer; the aim engine
+		// stores the slot's bytes after the timing transition.
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		if b.state != BankActive {
+			return fail("dram: write to bank with no open row")
+		}
+		if cmd.Col < 0 || cmd.Col >= ch.cfg.Geometry.Cols {
+			return fail(fmt.Sprintf("dram: column %d out of range [0,%d)", cmd.Col, ch.cfg.Geometry.Cols))
+		}
+		b.columnAccess(cycle, t, true)
+		ch.nextCol = cycle + t.TCCD
 		return IssueResult{}, nil
 
 	case KindREADRES:

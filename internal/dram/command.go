@@ -52,6 +52,45 @@ const (
 	// KindREADRES reads and concatenates the result latches of all banks
 	// in one command (Table I: "Read the Result latches of all banks").
 	KindREADRES
+
+	// The commands below come from the productized AiM ISA rather than
+	// the Newton paper proper: they let bias add, activation and
+	// element-wise chains run on-device, so a whole layer stack executes
+	// without a host round-trip per layer (internal/isr drives them).
+
+	// KindWRBIAS preloads the per-bank MAC result latches with bias
+	// values in one command: lane b of Data becomes bank b's latch. It
+	// touches no bank cells, only the latch write port.
+	KindWRBIAS
+	// KindRDAF reads the result latches of all banks like READRES but
+	// routes each value through the channel's activation-function lookup
+	// table first. AF selects the function (see AFKind).
+	KindRDAF
+	// KindEWMUL multiplies global-buffer slot Col element-wise by slot
+	// Slot, in place: gb[Col] *= gb[Slot]. Banks are untouched.
+	KindEWMUL
+	// KindEWADD adds global-buffer slot Slot element-wise into slot Col:
+	// gb[Col] += gb[Slot]. Banks are untouched.
+	KindEWADD
+	// KindCOPYBKGB copies one column I/O of bank Bank's open row into
+	// global-buffer slot Slot (a bank-to-buffer move: a column read that
+	// lands in the buffer instead of crossing the external bus).
+	KindCOPYBKGB
+	// KindCOPYGBBK copies global-buffer slot Slot into column Col of bank
+	// Bank's open row (a buffer-to-bank move, paced like a write).
+	KindCOPYGBBK
+)
+
+// AF selector values carried by RD_AF commands. AFNone reads the latch
+// unmodified; the others route it through the matching 2^16-entry
+// bfloat16 lookup table (internal/aim builds them once, lazily).
+const (
+	AFNone = iota
+	AFReLU
+	AFSigmoid
+	AFTanh
+	// AFCount bounds the selector range for protocol checks.
+	AFCount
 )
 
 var kindNames = map[Kind]string{
@@ -70,6 +109,12 @@ var kindNames = map[Kind]string{
 	KindCOLRD:    "COLRD",
 	KindMAC:      "MAC",
 	KindREADRES:  "READRES",
+	KindWRBIAS:   "WR_BIAS",
+	KindRDAF:     "RD_AF",
+	KindEWMUL:    "EWMUL",
+	KindEWADD:    "EWADD",
+	KindCOPYBKGB: "COPY_BKGB",
+	KindCOPYGBBK: "COPY_GBBK",
 }
 
 // String returns the mnemonic used in the paper's figures.
@@ -84,7 +129,8 @@ func (k Kind) String() string {
 // rather than the conventional DRAM command set.
 func (k Kind) IsAiM() bool {
 	switch k {
-	case KindGWRITE, KindGACT, KindCOMP, KindCOMPBank, KindBCAST, KindCOLRD, KindMAC, KindREADRES:
+	case KindGWRITE, KindGACT, KindCOMP, KindCOMPBank, KindBCAST, KindCOLRD, KindMAC, KindREADRES,
+		KindWRBIAS, KindRDAF, KindEWMUL, KindEWADD, KindCOPYBKGB, KindCOPYGBBK:
 		return true
 	}
 	return false
@@ -104,6 +150,11 @@ func (k Kind) IsAiM() bool {
 //	COMP_BK/COLRD/MAC: Bank, Col
 //	BCAST:             Col
 //	READRES:           no fields
+//	WR_BIAS:           Latch, Data (one bf16 lane per bank)
+//	RD_AF:             Latch, AF (activation-function selector)
+//	EWMUL/EWADD:       Col (destination slot), Slot (source slot)
+//	COPY_BKGB:         Bank, Col, Slot (destination slot)
+//	COPY_GBBK:         Bank, Col, Slot (source slot)
 type Command struct {
 	Kind    Kind
 	Bank    int
@@ -115,6 +166,11 @@ type Command struct {
 	// READRES. Newton proper has a single latch (0); the §III-C
 	// quad-latch design point uses 0-3.
 	Latch int
+	// Slot is the second global-buffer slot operand of the element-wise
+	// and copy commands (the first rides in Col).
+	Slot int
+	// AF selects the activation function applied by RD_AF (AFNone..AFTanh).
+	AF int
 }
 
 // String renders the command compactly for traces.
@@ -130,6 +186,14 @@ func (c Command) String() string {
 		return fmt.Sprintf("G_ACT cl%d r%d", c.Cluster, c.Row)
 	case KindGWRITE, KindCOMP, KindBCAST:
 		return fmt.Sprintf("%s c%d", c.Kind, c.Col)
+	case KindWRBIAS:
+		return fmt.Sprintf("WR_BIAS l%d", c.Latch)
+	case KindRDAF:
+		return fmt.Sprintf("RD_AF l%d af%d", c.Latch, c.AF)
+	case KindEWMUL, KindEWADD:
+		return fmt.Sprintf("%s c%d s%d", c.Kind, c.Col, c.Slot)
+	case KindCOPYBKGB, KindCOPYGBBK:
+		return fmt.Sprintf("%s b%d c%d s%d", c.Kind, c.Bank, c.Col, c.Slot)
 	default:
 		return c.Kind.String()
 	}

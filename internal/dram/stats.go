@@ -1,8 +1,8 @@
 package dram
 
 // kindCount sizes the per-kind command counters; Kind values are a
-// dense enum ending at KindREADRES.
-const kindCount = int(KindREADRES) + 1
+// dense enum ending at KindCOPYGBBK.
+const kindCount = int(KindCOPYGBBK) + 1
 
 // Stats counts the events on one channel. The power model converts these
 // counts into energy; the experiments convert them into command-bandwidth
@@ -73,10 +73,15 @@ func (s *Stats) record(cmd Command, cycle int64, cfg Config) {
 	case KindCOMPBank, KindCOLRD:
 		s.ColumnReads++
 		s.InternalBytesRead += colBytes
-	case KindGWRITE:
+	case KindGWRITE, KindWRBIAS:
 		s.BytesWritten += colBytes
-	case KindREADRES:
+	case KindREADRES, KindRDAF:
 		s.BytesRead += colBytes
+	case KindCOPYBKGB:
+		s.ColumnReads++
+		s.InternalBytesRead += colBytes
+	case KindCOPYGBBK:
+		s.ColumnWrites++
 	case KindREF:
 		s.Refreshes++
 	}

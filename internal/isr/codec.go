@@ -1,0 +1,247 @@
+package isr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The codec renders programs in a line-oriented text format, one
+// instruction per line:
+//
+//	<MNEMONIC> [key=value]...
+//
+// with '#' comments and blank lines ignored. Which keys an op carries
+// — and their order — is defined by one table (opTable) shared by the
+// encoder and the decoder, so the two cannot drift: encoding a
+// canonical program (unused Instr fields zero) and parsing it back is
+// the identity, which FuzzISR asserts.
+//
+// Masks are hexadecimal; WR_GPR/WR_BIAS immediates are comma-separated
+// IEEE-754 float32 bit patterns in hex, an exact (NaN-safe) round trip.
+
+// fieldSpec is one operand column of an op's encoding.
+type fieldSpec struct {
+	key string
+	enc func(*Instr) string
+	dec func(*Instr, string) error
+}
+
+func intField(key string, p func(*Instr) *int) fieldSpec {
+	return fieldSpec{
+		key: key,
+		enc: func(in *Instr) string { return strconv.Itoa(*p(in)) },
+		dec: func(in *Instr, s string) error {
+			v, err := strconv.Atoi(s)
+			*p(in) = v
+			return err
+		},
+	}
+}
+
+func int64Field(key string, p func(*Instr) *int64) fieldSpec {
+	return fieldSpec{
+		key: key,
+		enc: func(in *Instr) string { return strconv.FormatInt(*p(in), 10) },
+		dec: func(in *Instr, s string) error {
+			v, err := strconv.ParseInt(s, 10, 64)
+			*p(in) = v
+			return err
+		},
+	}
+}
+
+func maskField() fieldSpec {
+	return fieldSpec{
+		key: "mask",
+		enc: func(in *Instr) string { return strconv.FormatUint(uint64(in.Mask), 16) },
+		dec: func(in *Instr, s string) error {
+			v, err := strconv.ParseUint(s, 16, 32)
+			in.Mask = uint32(v)
+			return err
+		},
+	}
+}
+
+func boolField(key string, p func(*Instr) *bool) fieldSpec {
+	return fieldSpec{
+		key: key,
+		enc: func(in *Instr) string {
+			if *p(in) {
+				return "1"
+			}
+			return "0"
+		},
+		dec: func(in *Instr, s string) error {
+			switch s {
+			case "0":
+				*p(in) = false
+			case "1":
+				*p(in) = true
+			default:
+				return fmt.Errorf("bad bool %q", s)
+			}
+			return nil
+		},
+	}
+}
+
+func immField() fieldSpec {
+	return fieldSpec{
+		key: "imm",
+		enc: func(in *Instr) string {
+			var sb strings.Builder
+			for i, v := range in.Imm {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatUint(uint64(math.Float32bits(v)), 16))
+			}
+			return sb.String()
+		},
+		dec: func(in *Instr, s string) error {
+			if s == "" {
+				return fmt.Errorf("empty immediate")
+			}
+			parts := strings.Split(s, ",")
+			in.Imm = make([]float32, len(parts))
+			for i, p := range parts {
+				bits, err := strconv.ParseUint(p, 16, 32)
+				if err != nil {
+					return fmt.Errorf("bad immediate lane %q: %v", p, err)
+				}
+				in.Imm[i] = math.Float32frombits(uint32(bits))
+			}
+			return nil
+		},
+	}
+}
+
+// Field accessors (tiny, shared across specs).
+func fGpr(in *Instr) *int        { return &in.Gpr }
+func fGpr2(in *Instr) *int       { return &in.Gpr2 }
+func fCount(in *Instr) *int      { return &in.Count }
+func fCount2(in *Instr) *int     { return &in.Count2 }
+func fRow(in *Instr) *int        { return &in.Row }
+func fBank(in *Instr) *int       { return &in.Bank }
+func fCol(in *Instr) *int        { return &in.Col }
+func fSlot(in *Instr) *int       { return &in.Slot }
+func fLatch(in *Instr) *int      { return &in.Latch }
+func fIdx(in *Instr) *int        { return &in.Idx }
+func fVal(in *Instr) *int        { return &in.Val }
+func fAcc(in *Instr) *bool       { return &in.Acc }
+func fExposure(in *Instr) *int64 { return &in.Exposure }
+
+// opTable defines each op's operand columns, in encoding order.
+var opTable = [opCount][]fieldSpec{
+	OpWRGPR:    {intField("g", fGpr), immField()},
+	OpRDGPR:    {intField("g", fGpr), intField("n", fCount)},
+	OpCFR:      {intField("idx", fIdx), intField("val", fVal)},
+	OpWRGB:     {maskField(), intField("g", fGpr), intField("n", fCount)},
+	OpWRABK:    {maskField(), intField("bank", fBank), intField("col", fCol), intField("g", fGpr)},
+	OpWRBIAS:   {maskField(), intField("latch", fLatch), immField()},
+	OpACT:      {maskField(), intField("row", fRow)},
+	OpPRE:      {maskField()},
+	OpMAC:      {maskField(), intField("n", fCount), intField("latch", fLatch)},
+	OpRDMAC:    {maskField(), intField("g", fGpr), intField("latch", fLatch), boolField("acc", fAcc)},
+	OpRDAF:     {maskField(), intField("g", fGpr), intField("latch", fLatch)},
+	OpEWMUL:    {maskField(), intField("dst", fCol), intField("src", fSlot)},
+	OpEWADD:    {maskField(), intField("dst", fCol), intField("src", fSlot)},
+	OpCOPYBKGB: {maskField(), intField("bank", fBank), intField("col", fCol), intField("slot", fSlot)},
+	OpCOPYGBBK: {maskField(), intField("bank", fBank), intField("col", fCol), intField("slot", fSlot)},
+	OpAF:       {intField("g", fGpr), intField("n", fCount)},
+	OpNORM:     {intField("g", fGpr), intField("n", fCount), int64Field("exp", fExposure)},
+	OpRESHAPE:  {intField("g", fGpr), intField("n", fCount), intField("g2", fGpr2), intField("n2", fCount2)},
+	OpMARK:     {intField("id", fIdx)},
+	OpSYNC:     {},
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op, name := range opName {
+		m[name] = Op(op)
+	}
+	return m
+}()
+
+// Encode renders the program in the package's text format.
+func Encode(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if int(in.Op) >= int(opCount) {
+			return fmt.Errorf("isr: instr %d: unknown op %d", i, in.Op)
+		}
+		bw.WriteString(in.Op.String())
+		for _, f := range opTable[in.Op] {
+			bw.WriteByte(' ')
+			bw.WriteString(f.key)
+			bw.WriteByte('=')
+			bw.WriteString(f.enc(in))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// EncodeString renders the program as a string.
+func EncodeString(p *Program) string {
+	var sb strings.Builder
+	Encode(&sb, p) // strings.Builder never errors
+	return sb.String()
+}
+
+// Parse reads a program in the package's text format. Errors identify
+// the offending line.
+func Parse(r io.Reader) (*Program, error) {
+	p := &Program{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		in, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("isr: line %d: %w", lineNo, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseLine(line string) (Instr, error) {
+	fields := strings.Fields(line)
+	op, ok := opByName[fields[0]]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown instruction %q", fields[0])
+	}
+	in := Instr{Op: op}
+	specs := opTable[op]
+	if len(fields)-1 != len(specs) {
+		return Instr{}, fmt.Errorf("%s takes %d operands, got %d", op, len(specs), len(fields)-1)
+	}
+	for i, f := range fields[1:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return Instr{}, fmt.Errorf("malformed operand %q", f)
+		}
+		spec := specs[i]
+		if key != spec.key {
+			return Instr{}, fmt.Errorf("%s operand %d is %q, got %q", op, i, spec.key, key)
+		}
+		if err := spec.dec(&in, val); err != nil {
+			return Instr{}, fmt.Errorf("%s %s: %v", op, key, err)
+		}
+	}
+	return in, nil
+}

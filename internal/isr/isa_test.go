@@ -1,0 +1,90 @@
+package isr
+
+import (
+	"math"
+	"testing"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+)
+
+func TestOpString(t *testing.T) {
+	if got := OpMAC.String(); got != "MAC" {
+		t.Errorf("OpMAC.String() = %q", got)
+	}
+	if got := Op(250).String(); got != "Op(?)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestAFFunc(t *testing.T) {
+	if AFFunc(dram.AFNone) != nil {
+		t.Error("AFNone should have no function")
+	}
+	if AFFunc(dram.AFCount+5) != nil {
+		t.Error("out-of-range selector should have no function")
+	}
+	relu := AFFunc(dram.AFReLU)
+	if relu(-2) != 0 || relu(3) != 3 {
+		t.Errorf("relu(-2)=%v relu(3)=%v", relu(-2), relu(3))
+	}
+	sig := AFFunc(dram.AFSigmoid)
+	if got := sig(0); got != 0.5 {
+		t.Errorf("sigmoid(0) = %v", got)
+	}
+	tanh := AFFunc(dram.AFTanh)
+	if got := tanh(0); got != 0 {
+		t.Errorf("tanh(0) = %v", got)
+	}
+	if got := float64(tanh(1)); math.Abs(got-math.Tanh(1)) > 1e-7 {
+		t.Errorf("tanh(1) = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	Normalize(nil) // must not panic
+
+	v := []float32{1, 2, 3, 4}
+	Normalize(v)
+	var sum float64
+	for _, x := range v {
+		sum += float64(x)
+	}
+	if math.Abs(sum) > 1e-5 {
+		t.Errorf("normalized mean not ~0: %v (sum %v)", v, sum)
+	}
+	if v[0] >= v[3] {
+		t.Errorf("normalization must preserve order: %v", v)
+	}
+
+	// Zero variance: the guard keeps inv at 1, output is x - mean.
+	c := []float32{5, 5, 5}
+	Normalize(c)
+	for _, x := range c {
+		if x != 0 {
+			t.Errorf("constant vector should normalize to zeros, got %v", c)
+		}
+	}
+}
+
+func TestReshapeInto(t *testing.T) {
+	// Equal widths: pass-through with bf16 rounding.
+	src := []float32{1.0 / 3.0, -2.5}
+	dst := make([]float32, 2)
+	ReshapeInto(dst, src)
+	for i := range src {
+		if want := bf16.FromFloat32(src[i]).Float32(); dst[i] != want {
+			t.Errorf("dst[%d] = %v, want bf16-rounded %v", i, dst[i], want)
+		}
+	}
+
+	// Width change: fold modulo the source with 0.5 scale.
+	wide := make([]float32, 5)
+	ReshapeInto(wide, src)
+	for i := range wide {
+		want := bf16.FromFloat32(src[i%2] * 0.5).Float32()
+		if wide[i] != want {
+			t.Errorf("wide[%d] = %v, want %v", i, wide[i], want)
+		}
+	}
+}

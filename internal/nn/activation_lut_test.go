@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"newton/internal/aim"
+	"newton/internal/bf16"
+)
+
+// These tests pin the device activation path (the RD_AF look-up
+// tables) to the nn float32 reference across the full bfloat16 domain,
+// including the edge encodings a sampled test would miss: ±Inf, NaN,
+// signed zero and subnormals.
+//
+// The documented envelope: for every bfloat16 input x, the table
+// returns exactly bf16(f(float32(x))) — the correctly-rounded bfloat16
+// of the float32 reference — so the device output is within half a
+// bfloat16 ULP of the reference, and bit-identical wherever f(x) is
+// bfloat16-representable (all of ReLU).
+
+func lutActivations() map[int]Activation {
+	return map[int]Activation{
+		mustSelector(ReLU):    ReLU,
+		mustSelector(Sigmoid): Sigmoid,
+		mustSelector(Tanh):    Tanh,
+	}
+}
+
+func mustSelector(a Activation) int {
+	sel, err := afSelector(a)
+	if err != nil {
+		panic(err)
+	}
+	return sel
+}
+
+// TestActivationLUTFullDomain sweeps every bfloat16 encoding: the LUT
+// must equal the rounded float32 reference on all 65536 patterns.
+func TestActivationLUTFullDomain(t *testing.T) {
+	for sel, act := range lutActivations() {
+		lut := aim.StandardLUT(sel)
+		if lut == nil {
+			t.Fatalf("no standard LUT for selector %d", sel)
+		}
+		f := act.Func()
+		for bits := 0; bits < 1<<16; bits++ {
+			x := bf16.FromBits(uint16(bits))
+			want := bf16.FromFloat32(f(x.Float32()))
+			got := lut.Apply(x)
+			if got.Bits() != want.Bits() {
+				// NaN payloads may legally differ as long as both are NaN.
+				if got.IsNaN() && want.IsNaN() {
+					continue
+				}
+				t.Fatalf("%v LUT(%#04x = %v) = %v (bits %#04x), reference rounds to %v (bits %#04x)",
+					act, bits, x.Float32(), got.Float32(), got.Bits(), want.Float32(), want.Bits())
+			}
+		}
+	}
+}
+
+// TestActivationLUTEdgeCases spells out the special encodings so a
+// regression names the case, not just a bit pattern.
+func TestActivationLUTEdgeCases(t *testing.T) {
+	posInf := bf16.FromFloat32(float32(math.Inf(1)))
+	negInf := bf16.FromFloat32(float32(math.Inf(-1)))
+	nan := bf16.FromFloat32(float32(math.NaN()))
+	posZero := bf16.FromBits(0x0000)
+	negZero := bf16.FromBits(0x8000)
+	minSub := bf16.FromBits(0x0001) // smallest positive subnormal
+	maxSub := bf16.FromBits(0x007f) // largest subnormal
+	negSub := bf16.FromBits(0x8001) // smallest-magnitude negative subnormal
+	maxFin := bf16.FromBits(0x7f7f) // largest finite
+	negFin := bf16.FromBits(0xff7f) // most negative finite
+
+	cases := []struct {
+		name string
+		in   bf16.Num
+	}{
+		{"+Inf", posInf}, {"-Inf", negInf}, {"NaN", nan},
+		{"+0", posZero}, {"-0", negZero},
+		{"minSubnormal", minSub}, {"maxSubnormal", maxSub}, {"negSubnormal", negSub},
+		{"maxFinite", maxFin}, {"negFinite", negFin},
+	}
+	for sel, act := range lutActivations() {
+		lut := aim.StandardLUT(sel)
+		f := act.Func()
+		for _, tc := range cases {
+			got := lut.Apply(tc.in)
+			want := bf16.FromFloat32(f(tc.in.Float32()))
+			if got.IsNaN() && want.IsNaN() {
+				continue
+			}
+			if got.Bits() != want.Bits() {
+				t.Errorf("%v(%s): LUT %v (bits %#04x), reference %v (bits %#04x)",
+					act, tc.name, got.Float32(), got.Bits(), want.Float32(), want.Bits())
+			}
+		}
+		// Saturation sanity at the extremes, independent of the
+		// reference formulas.
+		switch act {
+		case Sigmoid:
+			if v := lut.Apply(posInf).Float32(); v != 1 {
+				t.Errorf("sigmoid(+Inf) = %v, want 1", v)
+			}
+			if v := lut.Apply(negInf).Float32(); v != 0 {
+				t.Errorf("sigmoid(-Inf) = %v, want 0", v)
+			}
+		case Tanh:
+			if v := lut.Apply(posInf).Float32(); v != 1 {
+				t.Errorf("tanh(+Inf) = %v, want 1", v)
+			}
+			if v := lut.Apply(negInf).Float32(); v != -1 {
+				t.Errorf("tanh(-Inf) = %v, want -1", v)
+			}
+		case ReLU:
+			if v := lut.Apply(negInf).Float32(); v != 0 {
+				t.Errorf("relu(-Inf) = %v, want 0", v)
+			}
+			if got := lut.Apply(posInf); !got.IsInf(1) {
+				t.Errorf("relu(+Inf) = %v, want +Inf", got.Float32())
+			}
+			// ReLU is exact: subnormals pass through unchanged.
+			if got := lut.Apply(minSub); got.Bits() != minSub.Bits() {
+				t.Errorf("relu(minSubnormal) altered the encoding: %#04x", got.Bits())
+			}
+			if got := lut.Apply(negSub); got.Float32() != 0 {
+				t.Errorf("relu(negSubnormal) = %v, want 0", got.Float32())
+			}
+		}
+	}
+}

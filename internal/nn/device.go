@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"fmt"
+
+	"newton/internal/host"
+	"newton/internal/isr"
+)
+
+// DeviceRunResult reports one whole-model on-device inference: the
+// model ran as a single ISR program with no host round-trip between
+// layers.
+type DeviceRunResult struct {
+	// Output is the final layer's activation vector.
+	Output []float32
+	// Cycles is the end-to-end program duration.
+	Cycles int64
+	// LayerCycles is each layer's duration, from the program's MARK
+	// stamps (includes the layer's exposed normalization latency).
+	LayerCycles []int64
+	// Refreshes counts refresh commands during the run.
+	Refreshes int64
+	// Instrs is the ISR program length.
+	Instrs int
+}
+
+// Executor compiles a placed model to ISR programs and runs them on a
+// controller through an isr.Frontend. One executor is reusable across
+// inputs; each Run compiles a fresh program (the input vector is
+// embedded in the program text).
+type Executor struct {
+	c  *host.Controller
+	pm *PlacedModel
+	fe *isr.Frontend
+}
+
+// NewExecutor builds an executor for a model already placed on c.
+func NewExecutor(c *host.Controller, pm *PlacedModel) (*Executor, error) {
+	fe, err := isr.NewFrontend(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{c: c, pm: pm, fe: fe}, nil
+}
+
+// Compile lowers the model plus this input to one self-contained ISR
+// program (see CompileISR), statically checked before it is returned.
+func (e *Executor) Compile(input []float32) (*isr.Program, error) {
+	exposure := e.c.Options().NormExposure(e.c.Config().Geometry.RowBytes() / 2)
+	prog, err := CompileISR(e.pm, e.c.Config().Geometry, exposure, input)
+	if err != nil {
+		return nil, err
+	}
+	if err := isr.CheckProgram(prog, e.c.Config().Geometry, e.c.Options().Latches()); err != nil {
+		return nil, fmt.Errorf("nn: compiled program fails static check: %w", err)
+	}
+	return prog, nil
+}
+
+// Run compiles and executes one inference on the device.
+func (e *Executor) Run(input []float32) (*DeviceRunResult, error) {
+	prog, err := e.Compile(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunProgram(prog)
+}
+
+// RunProgram executes an already-compiled program and shapes its
+// report into a model-level result.
+func (e *Executor) RunProgram(prog *isr.Program) (*DeviceRunResult, error) {
+	before := e.c.Stats()
+	rep, err := e.fe.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &DeviceRunResult{
+		Output:    rep.Readback,
+		Cycles:    rep.EndCycle - rep.StartCycle,
+		Refreshes: e.c.Stats().Diff(before).Refreshes,
+		Instrs:    rep.Instrs,
+	}
+	prev := rep.StartCycle
+	for _, m := range rep.Marks {
+		res.LayerCycles = append(res.LayerCycles, m.Cycle-prev)
+		prev = m.Cycle
+	}
+	return res, nil
+}
+
+// RunOnDevice is the one-call form: place-once callers that just want
+// a single on-device inference.
+func RunOnDevice(c *host.Controller, pm *PlacedModel, input []float32) (*DeviceRunResult, error) {
+	e, err := NewExecutor(c, pm)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(input)
+}

@@ -24,7 +24,14 @@ type PlacedModel struct {
 	Spec       Model
 	Matrices   []*layout.Matrix
 	Placements []*layout.Placement
+	// Biases holds one bias vector per layer with Layer.Bias set (nil
+	// entries otherwise), in bfloat16 so the host-side add and the
+	// on-device WR_BIAS latch preload start from identical values.
+	Biases []bf16.Vector
 }
+
+// biasSeedOffset decorrelates bias generation from the weight seeds.
+const biasSeedOffset = 1 << 20
 
 // PlaceModel generates deterministic weights for every layer (seeded per
 // layer so runners with the same seed hold identical weights) and loads
@@ -42,8 +49,24 @@ func PlaceModel(r MVMRunner, spec Model, seed int64) (*PlacedModel, error) {
 		}
 		pm.Matrices = append(pm.Matrices, m)
 		pm.Placements = append(pm.Placements, p)
+		var bias bf16.Vector
+		if l.Bias {
+			bias = layout.RandomMatrix(1, l.Rows, seed+biasSeedOffset+int64(i)).Data
+		}
+		pm.Biases = append(pm.Biases, bias)
 	}
 	return pm, nil
+}
+
+// addBias adds layer i's bias (if any) to out in float32, the
+// host-side counterpart of the device's WR_BIAS latch preload.
+func (pm *PlacedModel) addBias(i int, out []float32) {
+	if i >= len(pm.Biases) || pm.Biases[i] == nil {
+		return
+	}
+	for r, b := range pm.Biases[i] {
+		out[r] += b.Float32()
+	}
 }
 
 // RunResult reports one end-to-end model inference.
@@ -65,6 +88,16 @@ type RunResult struct {
 // exposes normExposure cycles per normalized layer (§III-C: all but the
 // first tile's normalization hides under the next layer's compute).
 func Run(r MVMRunner, pm *PlacedModel, input []float32, normExposure int64) (*RunResult, error) {
+	return RunWithRoundTrip(r, pm, input, normExposure, 0)
+}
+
+// RunWithRoundTrip is Run with an explicit host round-trip charged at
+// every layer boundary: the result vector crosses to the host and the
+// next layer's input crosses back, costing roundTrip cycles of exposed
+// latency per boundary (interconnect plus host turnaround). With
+// roundTrip 0 it is exactly Run; the e2e experiment sweeps it to show
+// what single-program on-device execution saves.
+func RunWithRoundTrip(r MVMRunner, pm *PlacedModel, input []float32, normExposure, roundTrip int64) (*RunResult, error) {
 	if len(input) != pm.Spec.InputWidth() {
 		return nil, fmt.Errorf("nn: input width %d, model %s expects %d",
 			len(input), pm.Spec.Name, pm.Spec.InputWidth())
@@ -81,10 +114,14 @@ func Run(r MVMRunner, pm *PlacedModel, input []float32, normExposure int64) (*Ru
 		res.LayerCycles = append(res.LayerCycles, lr.Cycles)
 		res.Refreshes += lr.Stats.Refreshes
 		out := lr.Output
+		pm.addBias(i, out)
 		l.Act.Apply(out) // applied as elements arrive: no exposed latency
 		if l.BatchNorm {
 			BatchNorm(out)
 			r.Advance(normExposure)
+		}
+		if roundTrip > 0 && i < len(pm.Spec.Layers)-1 {
+			r.Advance(roundTrip)
 		}
 		cur = out
 	}

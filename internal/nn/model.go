@@ -12,6 +12,12 @@ type Layer struct {
 	Rows, Cols int
 	Act        Activation
 	BatchNorm  bool
+	// Bias adds a per-output bias vector (y = Wx + b) before the
+	// activation. On-device it preloads the result latches via WR_BIAS;
+	// the per-layer path adds it host-side in float32. The paper's
+	// workload models fold biases into the matrices, so they leave it
+	// off.
+	Bias bool
 }
 
 // Params returns the layer's parameter count.

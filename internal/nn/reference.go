@@ -19,6 +19,7 @@ func RunReference(pm *PlacedModel, input []float32) ([]float32, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nn: %s layer %d (%s): %w", pm.Spec.Name, i, l.Name, err)
 		}
+		pm.addBias(i, out)
 		l.Act.Apply(out)
 		if l.BatchNorm {
 			BatchNorm(out)

@@ -1,0 +1,70 @@
+package obs_test
+
+import (
+	"testing"
+
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/host"
+	"newton/internal/layout"
+	"newton/internal/obs"
+)
+
+func TestSelfCheckRatios(t *testing.T) {
+	s := obs.SelfCheck{PredictedCycles: 200, MeasuredCycles: 210}
+	if got := s.Ratio(); got != 1.05 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := s.ErrorPct(); got != 5 {
+		t.Errorf("ErrorPct = %v", got)
+	}
+	var zero obs.SelfCheck
+	if zero.Ratio() != 0 || zero.ErrorPct() != 0 {
+		t.Error("inapplicable check must report zeros")
+	}
+}
+
+// TestPredictMVMOnDevice evaluates the §III-F closed form against a real
+// ganged-activation run on the model's validity domain, plus the
+// inapplicable arms (no G_ACT issued, fewer G_ACTs than one visit).
+func TestPredictMVMOnDevice(t *testing.T) {
+	cfg := dram.Config{Geometry: dram.HBM2EGeometry(1), Timing: dram.AiMTiming()}
+	c, err := host.NewController(cfg, host.Newton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := layout.RandomMatrix(4096, 512, 11)
+	p, err := c.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make(bf16.Vector, m.Cols)
+	for i := range v {
+		v[i] = bf16.FromFloat32(float32(i%9)/9 - 0.5)
+	}
+	res, err := c.RunMVM(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy float64
+	for _, cyc := range res.PerChannelCycles {
+		busy += float64(cyc)
+	}
+	busy /= float64(len(res.PerChannelCycles))
+
+	check := obs.PredictMVM(cfg, res.Stats, busy)
+	if check.PredictedCycles <= 0 {
+		t.Fatal("closed form inapplicable on its validity domain")
+	}
+	if e := check.ErrorPct(); e < -2 || e > 2 {
+		t.Errorf("self-check error %+.2f%% outside the 2%% envelope (predicted %.0f, measured %.0f)",
+			e, check.PredictedCycles, check.MeasuredCycles)
+	}
+
+	// A run that issued no G_ACT (or too few for one visit) is outside
+	// the model: the check must come back inapplicable, measured intact.
+	none := obs.PredictMVM(cfg, dram.Stats{}, 123)
+	if none.PredictedCycles != 0 || none.MeasuredCycles != 123 {
+		t.Errorf("no-G_ACT check = %+v", none)
+	}
+}

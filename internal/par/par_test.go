@@ -62,6 +62,41 @@ func TestForEachErrSerialStopsEarly(t *testing.T) {
 	}
 }
 
+// TestForEachErrParallelPool forces the multi-worker pool even on a
+// single-CPU host (where GOMAXPROCS would otherwise clamp every call
+// onto the inline serial path): every item must run exactly once
+// despite other items' errors, and the lowest-indexed error must win.
+func TestForEachErrParallelPool(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 64
+	counts := make([]atomic.Int32, n)
+	err := ForEachErr(4, n, func(i int) error {
+		counts[i].Add(1)
+		if i == 5 || i == 50 {
+			return fmt.Errorf("item %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 5" {
+		t.Errorf("got %v, want item 5", err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d ran %d times despite errors elsewhere", i, c)
+		}
+	}
+
+	var ok atomic.Int32
+	if err := ForEachErr(2, n, func(i int) error { ok.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Load() != n {
+		t.Errorf("clean pool ran %d items, want %d", ok.Load(), n)
+	}
+}
+
 // TestForEachDeterministicResults checks the idiom every caller relies
 // on: item i writes slot i, so the assembled result is independent of
 // worker count and scheduling.

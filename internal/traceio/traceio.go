@@ -6,11 +6,13 @@
 //
 // The format is line-oriented text, one command per line:
 //
-//	<cycle> <KIND> [bank=N] [cluster=N] [row=N] [col=N] [latch=N] [data=HEX]
+//	<cycle> <KIND> [bank=N] [cluster=N] [row=N] [col=N] [latch=N] [slot=N] [af=N] [data=HEX]
 //
 // with '#' comments and blank lines ignored. KIND uses the paper's
 // mnemonics (ACT, PRE, PREA, RD, WR, REF, GWRITE, G_ACT, COMP, COMP_BK,
-// BCAST, COLRD, MAC, READRES); bank may be 'all' for ganged COLRD/MAC.
+// BCAST, COLRD, MAC, READRES) plus the ISR-era on-device commands
+// (WR_BIAS, RD_AF, EWMUL, EWADD, COPY_BKGB, COPY_GBBK); bank may be
+// 'all' for ganged COLRD/MAC.
 package traceio
 
 import (
@@ -32,20 +34,26 @@ type TimedCommand struct {
 }
 
 var kindByName = map[string]dram.Kind{
-	"ACT":     dram.KindACT,
-	"PRE":     dram.KindPRE,
-	"PREA":    dram.KindPREA,
-	"RD":      dram.KindRD,
-	"WR":      dram.KindWR,
-	"REF":     dram.KindREF,
-	"GWRITE":  dram.KindGWRITE,
-	"G_ACT":   dram.KindGACT,
-	"COMP":    dram.KindCOMP,
-	"COMP_BK": dram.KindCOMPBank,
-	"BCAST":   dram.KindBCAST,
-	"COLRD":   dram.KindCOLRD,
-	"MAC":     dram.KindMAC,
-	"READRES": dram.KindREADRES,
+	"ACT":       dram.KindACT,
+	"PRE":       dram.KindPRE,
+	"PREA":      dram.KindPREA,
+	"RD":        dram.KindRD,
+	"WR":        dram.KindWR,
+	"REF":       dram.KindREF,
+	"GWRITE":    dram.KindGWRITE,
+	"G_ACT":     dram.KindGACT,
+	"COMP":      dram.KindCOMP,
+	"COMP_BK":   dram.KindCOMPBank,
+	"BCAST":     dram.KindBCAST,
+	"COLRD":     dram.KindCOLRD,
+	"MAC":       dram.KindMAC,
+	"READRES":   dram.KindREADRES,
+	"WR_BIAS":   dram.KindWRBIAS,
+	"RD_AF":     dram.KindRDAF,
+	"EWMUL":     dram.KindEWMUL,
+	"EWADD":     dram.KindEWADD,
+	"COPY_BKGB": dram.KindCOPYBKGB,
+	"COPY_GBBK": dram.KindCOPYGBBK,
 }
 
 // Write renders a trace in the package format.
@@ -89,6 +97,16 @@ func writeOne(w io.Writer, tc TimedCommand) error {
 		parts = append(parts, bankField(tc.Cmd.Bank), field("latch", tc.Cmd.Latch))
 	case dram.KindREADRES:
 		parts = append(parts, field("latch", tc.Cmd.Latch))
+	case dram.KindWRBIAS:
+		parts = append(parts, field("latch", tc.Cmd.Latch),
+			"data="+hex.EncodeToString(tc.Cmd.Data))
+	case dram.KindRDAF:
+		parts = append(parts, field("latch", tc.Cmd.Latch), field("af", tc.Cmd.AF))
+	case dram.KindEWMUL, dram.KindEWADD:
+		parts = append(parts, field("col", tc.Cmd.Col), field("slot", tc.Cmd.Slot))
+	case dram.KindCOPYBKGB, dram.KindCOPYGBBK:
+		parts = append(parts, field("bank", tc.Cmd.Bank), field("col", tc.Cmd.Col),
+			field("slot", tc.Cmd.Slot))
 	case dram.KindPREA, dram.KindREF:
 		// no operands
 	default:
@@ -174,6 +192,14 @@ func parseLine(line string) (TimedCommand, error) {
 		case "latch":
 			if tc.Cmd.Latch, err = strconv.Atoi(val); err != nil {
 				return TimedCommand{}, fmt.Errorf("bad latch %q", val)
+			}
+		case "slot":
+			if tc.Cmd.Slot, err = strconv.Atoi(val); err != nil {
+				return TimedCommand{}, fmt.Errorf("bad slot %q", val)
+			}
+		case "af":
+			if tc.Cmd.AF, err = strconv.Atoi(val); err != nil {
+				return TimedCommand{}, fmt.Errorf("bad af %q", val)
 			}
 		case "data":
 			if tc.Cmd.Data, err = hex.DecodeString(val); err != nil {

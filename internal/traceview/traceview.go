@@ -39,13 +39,19 @@ var laneSymbols = map[dram.Kind]byte{
 	dram.KindCOLRD:    'L',
 	dram.KindMAC:      'M',
 	dram.KindREADRES:  'R',
+	dram.KindRDAF:     '@',
+	dram.KindWRBIAS:   'b',
+	dram.KindEWMUL:    '*',
+	dram.KindEWADD:    '+',
+	dram.KindCOPYBKGB: '>',
+	dram.KindCOPYGBBK: '<',
 }
 
 // Legend describes the lane symbols.
 func Legend() string {
 	return "row bus: A=ACT G=G_ACT P=PRE/PREA F=REF | " +
-		"col bus: C=COMP c=COMP_BK W=GWRITE B=BCAST L=COLRD M=MAC R=READRES r=RD w=WR | " +
-		"banks: #=row open F=refresh r/w=scrub read/write .=idle"
+		"col bus: C=COMP c=COMP_BK W=GWRITE B=BCAST L=COLRD M=MAC R=READRES @=RD_AF b=WR_BIAS *=EWMUL +=EWADD >=COPY_BKGB <=COPY_GBBK r=RD w=WR | " +
+		"banks: #=row open F=refresh r/w=scrub read/write >/<=copy to/from buffer .=idle"
 }
 
 // Render draws the trace window. The trace must be cycle-sorted.
@@ -165,6 +171,12 @@ func Render(cfg dram.Config, trace []traceio.TimedCommand, opts Options) (string
 			// Conventional column reads/writes are scrub traffic in an
 			// AiM trace (the MVM path uses COMP/READRES): mark the
 			// target bank's lane so scrub passes are visually distinct.
+			if c := col(tc.Cycle); c >= 0 && tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
+				bankLanes[tc.Cmd.Bank][c] = sym
+			}
+		case dram.KindCOPYBKGB, dram.KindCOPYGBBK:
+			// Bank↔buffer copies name a specific bank: mark its lane so
+			// on-device data movement is distinct from MVM compute.
 			if c := col(tc.Cycle); c >= 0 && tc.Cmd.Bank >= 0 && tc.Cmd.Bank < banks {
 				bankLanes[tc.Cmd.Bank][c] = sym
 			}

@@ -133,3 +133,44 @@ func TestRenderScrubGolden(t *testing.T) {
 		t.Errorf("scrub render drifted from golden:\n--- got\n%s--- want\n%s", out, want)
 	}
 }
+
+// TestRenderOnDeviceGolden pins the rendering of the ISR-era on-device
+// command kinds: the bias preload and activation read on the column
+// bus, element-wise buffer ops, and bank↔buffer copies marked in the
+// target bank's lane. Whole-model serving traces are debugged against
+// this picture.
+func TestRenderOnDeviceGolden(t *testing.T) {
+	g := dram.HBM2EGeometry(1)
+	g.Rows = 64
+	g.Banks = 4
+	g.BanksPerCluster = 4
+	cfg := dram.Config{Geometry: g, Timing: dram.AiMTiming()}
+	trace := []traceio.TimedCommand{
+		{Cycle: 0, Cmd: dram.Command{Kind: dram.KindGACT, Cluster: 0, Row: 3}},
+		{Cycle: 10, Cmd: dram.Command{Kind: dram.KindGWRITE, Col: 0}},
+		{Cycle: 14, Cmd: dram.Command{Kind: dram.KindGWRITE, Col: 1}},
+		{Cycle: 20, Cmd: dram.Command{Kind: dram.KindEWADD, Col: 0, Slot: 1}},
+		{Cycle: 26, Cmd: dram.Command{Kind: dram.KindEWMUL, Col: 1, Slot: 0}},
+		{Cycle: 32, Cmd: dram.Command{Kind: dram.KindCOPYGBBK, Bank: 1, Col: 2, Slot: 0}},
+		{Cycle: 40, Cmd: dram.Command{Kind: dram.KindCOPYBKGB, Bank: 2, Col: 2, Slot: 3}},
+		{Cycle: 50, Cmd: dram.Command{Kind: dram.KindWRBIAS, Latch: 0, Data: make([]byte, 8)}},
+		{Cycle: 56, Cmd: dram.Command{Kind: dram.KindCOMP, Col: 0}},
+		{Cycle: 70, Cmd: dram.Command{Kind: dram.KindRDAF, Latch: 0, AF: dram.AFReLU}},
+		{Cycle: 80, Cmd: dram.Command{Kind: dram.KindPREA}},
+	}
+	out, err := Render(cfg, trace, Options{From: 0, To: 100, Width: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "cycles 0..100, 2 per column\n" +
+		"row bus  G.......................................P.........\n" +
+		"col bus  .....W.W..+..*..<...>....b..C......@..............\n" +
+		"bank 0   ##.##.##.##.##.##.##.##.##.##.##.##.##.#..........\n" +
+		"bank 1   ##.##.##.##.##.#<.##.##.##.##.##.##.##.#..........\n" +
+		"bank 2   ##.##.##.##.##.##.##>##.##.##.##.##.##.#..........\n" +
+		"bank 3   ##.##.##.##.##.##.##.##.##.##.##.##.##.#..........\n" +
+		Legend() + "\n"
+	if out != want {
+		t.Errorf("on-device render drifted from golden:\n--- got\n%s--- want\n%s", out, want)
+	}
+}

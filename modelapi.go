@@ -1,6 +1,7 @@
 package newton
 
 import (
+	"newton/internal/isr"
 	"newton/internal/nn"
 	"newton/internal/workloads"
 )
@@ -110,4 +111,78 @@ func (b *IdealBaseline) RunModel(pm *PlacedModel, input []float32) (*ModelResult
 // on the same weights, for validating simulated inferences.
 func (p *PlacedModel) ReferenceModelOutput(input []float32) ([]float32, error) {
 	return nn.RunReference(p.pm, input)
+}
+
+// RunModelWithRoundTrip is RunModel with a host round-trip charged
+// between consecutive layers: the result vector leaves the device, is
+// reshaped host-side, and is written back before the next layer can
+// start. This is the serving cost Newton's ISR path eliminates;
+// roundTrip is the charged latency in cycles (nanoseconds).
+func (s *System) RunModelWithRoundTrip(pm *PlacedModel, input []float32, roundTrip int64) (*ModelResult, error) {
+	exposure := s.cfg.hostOptions().NormExposure(s.dcfg.Geometry.RowBytes() / 2)
+	r, err := nn.RunWithRoundTrip(s.ctrl, pm.pm, input, exposure, roundTrip)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelResult{Output: r.Output, Cycles: r.Cycles, LayerCycles: r.LayerCycles, Refreshes: r.Refreshes}, nil
+}
+
+// CompiledModel is a placed model lowered to one self-contained ISR
+// program: the input vector and every resolved DRAM row are embedded,
+// so the program replays bit-identically on any device with the same
+// geometry (newton-replay -isr accepts Text's output).
+type CompiledModel struct {
+	prog *isr.Program
+}
+
+// Text renders the program in the textual ISR format.
+func (c *CompiledModel) Text() string { return isr.EncodeString(c.prog) }
+
+// Instructions returns the program length.
+func (c *CompiledModel) Instructions() int { return len(c.prog.Instrs) }
+
+// DeviceModelResult reports one whole-model on-device inference.
+type DeviceModelResult struct {
+	// Output is the final activation vector.
+	Output []float32
+	// Cycles is the end-to-end program duration in cycles (nanoseconds).
+	Cycles int64
+	// LayerCycles is each layer's duration, from the program's MARK
+	// stamps.
+	LayerCycles []int64
+	// Refreshes counts refresh interruptions during the run.
+	Refreshes int64
+	// Instrs is the executed ISR program's length.
+	Instrs int
+}
+
+// CompileModel lowers a placed model plus one input vector to an ISR
+// program for on-device execution. The program is statically checked
+// before it is returned.
+func (s *System) CompileModel(pm *PlacedModel, input []float32) (*CompiledModel, error) {
+	ex, err := nn.NewExecutor(s.ctrl, pm.pm)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ex.Compile(input)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledModel{prog: prog}, nil
+}
+
+// RunModelOnDevice executes an end-to-end inference as a single ISR
+// program: the whole layer stack runs on the device with no host
+// round-trip between layers (activation and normalization execute at
+// the frontend/buffer level), which is the paper's serving mode for
+// recurrent and feed-forward stacks.
+func (s *System) RunModelOnDevice(pm *PlacedModel, input []float32) (*DeviceModelResult, error) {
+	r, err := nn.RunOnDevice(s.ctrl, pm.pm, input)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceModelResult{
+		Output: r.Output, Cycles: r.Cycles, LayerCycles: r.LayerCycles,
+		Refreshes: r.Refreshes, Instrs: r.Instrs,
+	}, nil
 }

@@ -4,18 +4,18 @@
 #      broken or pathologically slow benchmark fails loudly;
 #   2. newton-bench -perf: measure serial-vs-parallel throughput
 #      (ns/op, allocs/op, simulated cycles per wall-second, speedup,
-#      bit-identity, conformance verdict) into BENCH_PR6.json;
+#      bit-identity, conformance verdict) into BENCH_PR7.json;
 #   3. newton-bench -checkperf: validate the written report against the
-#      newton-bench-perf/v3 schema.
+#      newton-bench-perf/v4 schema.
 #
 # Environment knobs:
-#   BENCH_OUT      report path            (default BENCH_PR6.json)
+#   BENCH_OUT      report path            (default BENCH_PR7.json)
 #   BENCH_CHANNELS perf-mode channels     (default 24, the paper config)
 #   BENCH_SMOKE=0  skip step 1 (perf report only)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 CHANNELS="${BENCH_CHANNELS:-24}"
 
 if [ "${BENCH_SMOKE:-1}" != "0" ]; then
