@@ -20,8 +20,9 @@ test:
 
 # Wall-clock performance gate: benchmark smoke over every Benchmark*
 # (including BenchmarkCluster's fleet study), then a serial-vs-parallel
-# perf report written to BENCH_PR7.json and schema-checked (see
-# scripts/bench.sh for the knobs).
+# perf report written to BENCH_PR9.json, schema-checked with the
+# event-core throughput floors, and regression-gated against the PR7
+# stepping-core baseline (see scripts/bench.sh for the knobs).
 bench:
 	./scripts/bench.sh
 

@@ -18,7 +18,12 @@
 // a conformance-verified fig9 ladder on a small layer and writes it as a
 // Chrome trace-event file for chrome://tracing or Perfetto (see
 // EXPERIMENTS.md for a walkthrough). -serial forces the serial
-// reference path for any figure; -cpuprofile/-memprofile capture pprof
+// reference path for any figure; -oracle forces the stepping reference
+// engine instead of the event-driven core (results are byte-identical;
+// the knob exists for A/B benchmarking the cores and bisecting);
+// -checkperf with -baseline FILE additionally gates each MVM entry's
+// serial simulator throughput against an earlier report (>10% drop
+// fails); -cpuprofile/-memprofile capture pprof
 // profiles of whatever the invocation runs (see EXPERIMENTS.md for a
 // profiling walkthrough).
 package main
@@ -53,6 +58,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	perfOut := flag.String("perf", "", "measure serial-vs-parallel simulator throughput (ns/op, allocs/op, sim-cycles/wall-second, speedup, bit-identity, conformance) and write a "+PerfSchema+" JSON report to this file, then exit")
 	perfCheck := flag.String("checkperf", "", "validate a -perf JSON report against the "+PerfSchema+" schema, then exit")
+	perfBaseline := flag.String("baseline", "", "with -checkperf: also fail if any MVM entry's serial sim-cycles/wall-second dropped more than 10% below this earlier report's")
+	oracle := flag.Bool("oracle", false, "force the stepping reference engine instead of the event-driven core (byte-identical results; for A/B benchmarking and bisecting)")
 	chromeOut := flag.String("chrometrace", "", "run a conformance-verified fig9 ladder on a small layer and write it as a Chrome trace-event file (chrome://tracing, Perfetto) to this file, then exit")
 	flag.Parse()
 	csv := *format == "csv"
@@ -96,7 +103,7 @@ func main() {
 	}
 
 	if *perfCheck != "" {
-		if err := checkPerf(*perfCheck); err != nil {
+		if err := checkPerf(*perfCheck, *perfBaseline); err != nil {
 			fatalf("%v", err)
 		}
 		stopProfiles()
@@ -132,6 +139,7 @@ func main() {
 	cfg.Banks = *banks
 	cfg.Functional = *functional
 	cfg.Verify = *verify
+	cfg.Oracle = *oracle
 	cfg.Serial = *serial
 
 	if *chromeOut != "" {

@@ -8,21 +8,28 @@ import (
 	"testing"
 
 	"newton/internal/host"
+	"newton/internal/par"
 )
 
 // TestCheckPerfCommittedReport validates the checked-in trajectory the
-// same way CI does.
+// same way CI does, including the throughput-regression gate against
+// the PR7 stepping-core baseline.
 func TestCheckPerfCommittedReport(t *testing.T) {
-	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR7.json")); err != nil {
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"),
+		filepath.Join("..", "..", "BENCH_PR7.json")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // mutateReport loads the committed report, applies f, writes the
-// result to a temp file and returns checkPerf's error on it.
-func mutateReport(t *testing.T, f func(*PerfReport)) error {
+// result to a temp file and returns checkPerf's error on it (gated
+// against the PR7 baseline when baseline is set).
+func mutateReport(t *testing.T, baseline bool, f func(*PerfReport)) error {
 	t.Helper()
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR7.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +46,11 @@ func mutateReport(t *testing.T, f func(*PerfReport)) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return checkPerf(path)
+	var basePath string
+	if baseline {
+		basePath = filepath.Join("..", "..", "BENCH_PR7.json")
+	}
+	return checkPerf(path, basePath)
 }
 
 // TestCheckPerfCatches breaks the committed report one field at a time;
@@ -50,10 +61,17 @@ func TestCheckPerfCatches(t *testing.T) {
 		mutate func(*PerfReport)
 		want   string
 	}{
-		{"schema drift", func(r *PerfReport) { r.Schema = "newton-bench-perf/v3" }, "schema"},
+		{"schema drift", func(r *PerfReport) { r.Schema = "newton-bench-perf/v4" }, "schema"},
 		{"missing env", func(r *PerfReport) { r.GoVersion = "" }, "environment"},
 		{"no benchmarks", func(r *PerfReport) { r.Benchmarks = nil }, "no benchmarks"},
 		{"identity failure", func(r *PerfReport) { r.Benchmarks[0].Identical = false }, "identity"},
+		{"oracle identity failure", func(r *PerfReport) { r.Benchmarks[0].OracleIdentical = false }, "oracle"},
+		{"missing oracle side", func(r *PerfReport) { r.Benchmarks[0].Oracle.NsPerOp = 0 }, "oracle"},
+		{"event slower than oracle", func(r *PerfReport) { r.Benchmarks[0].EventSpeedupVsOracle = 0.8 }, "slower"},
+		{"sub-1.0 parallel speedup", func(r *PerfReport) { r.Benchmarks[0].Speedup = 0.97 }, "below 1.0"},
+		{"zero effective workers", func(r *PerfReport) { r.EffectiveWorkers = 0 }, "effective_workers"},
+		{"throughput floor", func(r *PerfReport) { r.Benchmarks[0].Serial.SimCyclesPerSec = 200_000 }, "floor"},
+		{"missing cold side", func(r *PerfReport) { r.Benchmarks[0].EventCold.NsPerOp = 0 }, "cold"},
 		{"alloc regression", func(r *PerfReport) { r.Benchmarks[0].Serial.AllocsPerOp = 10000 }, "budget"},
 		{"violations", func(r *PerfReport) { r.VerifyViolations = 3 }, "violations"},
 		{"missing fleet", func(r *PerfReport) { r.Fleet = nil }, "fleet"},
@@ -74,7 +92,7 @@ func TestCheckPerfCatches(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := mutateReport(t, tc.mutate)
+			err := mutateReport(t, false, tc.mutate)
 			if err == nil {
 				t.Fatal("mutation passed validation")
 			}
@@ -85,16 +103,57 @@ func TestCheckPerfCatches(t *testing.T) {
 	}
 }
 
+// TestCheckPerfBaselineGate exercises the cross-report throughput gate:
+// a >10% serial-throughput drop against the committed PR7 baseline must
+// fail, and a report that merely holds its numbers must pass.
+func TestCheckPerfBaselineGate(t *testing.T) {
+	if err := mutateReport(t, true, func(r *PerfReport) {}); err != nil {
+		t.Fatalf("unmutated report failed the baseline gate: %v", err)
+	}
+	err := mutateReport(t, true, func(r *PerfReport) {
+		// 85% of the PR7 baseline: above the absolute v5 floor would be
+		// impossible (the floor is 10x the baseline), so drop the floor's
+		// entry from the map's reach by renaming, then regress throughput.
+		r.Benchmarks[0].Name = "GNMT-s1"
+		r.Benchmarks[0].Serial.SimCyclesPerSec = simThroughputFloors["GNMT-s1"] * 1.05
+	})
+	if err != nil {
+		t.Fatalf("5%% above the floor should still clear the PR7 baseline: %v", err)
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	high := `{"benchmarks":[{"name":"GNMT-s1","serial":{"sim_cycles_per_wall_second":1e9}}]}`
+	if err := os.WriteFile(base, []byte(high), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	if err := os.WriteFile(rep, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPerf(rep, base); err == nil {
+		t.Fatal("a 1e9-cycles/s baseline should fail the current report")
+	} else if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q does not mention the regression", err)
+	}
+}
+
 func TestCheckPerfMissingFile(t *testing.T) {
-	if err := checkPerf(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+	if err := checkPerf(filepath.Join(t.TempDir(), "nope.json"), ""); err == nil {
 		t.Fatal("missing file passed validation")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkPerf(bad); err == nil {
+	if err := checkPerf(bad, ""); err == nil {
 		t.Fatal("malformed JSON passed validation")
+	}
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"),
+		filepath.Join(t.TempDir(), "nobase.json")); err == nil {
+		t.Fatal("missing baseline passed validation")
 	}
 }
 
@@ -113,7 +172,7 @@ func TestPerfEntryMVM(t *testing.T) {
 	if b.Name != "DLRM-s1" {
 		t.Fatalf("workload order changed: %v", ws)
 	}
-	var rep PerfReport
+	rep := PerfReport{EffectiveWorkers: par.Effective(0, 2)}
 	entry, err := perfEntryMVM(2, 16, 42, b, &rep)
 	if err != nil {
 		t.Fatal(err)
@@ -121,8 +180,15 @@ func TestPerfEntryMVM(t *testing.T) {
 	if !entry.Identical {
 		t.Error("serial and parallel DLRM-s1 runs differ")
 	}
-	if entry.Serial.NsPerOp <= 0 || entry.Parallel.NsPerOp <= 0 || entry.Observed.NsPerOp <= 0 {
+	if !entry.OracleIdentical {
+		t.Error("event-core and oracle DLRM-s1 runs differ")
+	}
+	if entry.Serial.NsPerOp <= 0 || entry.Parallel.NsPerOp <= 0 || entry.Observed.NsPerOp <= 0 ||
+		entry.Oracle.NsPerOp <= 0 || entry.EventCold.NsPerOp <= 0 {
 		t.Errorf("non-positive measurement: %+v", entry)
+	}
+	if entry.EventSpeedupVsOracle <= 0 {
+		t.Errorf("missing event-vs-oracle speedup: %+v", entry)
 	}
 	if entry.SimCycles <= 0 || entry.Serial.SimCyclesPerSec <= 0 {
 		t.Errorf("missing simulated-cycle accounting: %+v", entry)
@@ -134,7 +200,7 @@ func TestPerfEntryMVM(t *testing.T) {
 
 // TestMVMIdentical exercises the comparison's mismatch arms.
 func TestMVMIdentical(t *testing.T) {
-	ctrl, p, v, err := mvmSetup(1, 16, 42, perfWorkloads()[2], host.ParallelOff, false)
+	ctrl, p, v, err := mvmSetup(1, 16, 42, perfWorkloads()[2], host.ParallelOff, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,12 +90,22 @@ func (e *Engine) MAC(b int) *MACUnit { return e.macs[b] }
 // the host).
 func (e *Engine) SetLUT(l *LUT) { e.lut = l }
 
+// LUT returns the installed activation look-up table, nil when in-DRAM
+// activation is off. The host event core applies it at readout the way
+// Issue's READRES path does.
+func (e *Engine) LUT() *LUT { return e.lut }
+
 // SetObserver installs a passive command-stream tap (nil removes it).
 // The engine observes the original AiM command, before the channel-level
 // rewrite a ganged COLRD undergoes (chCmd), so observers see the stream
 // the scheduler actually emitted; do not also attach the same observer
 // to the underlying channel.
 func (e *Engine) SetObserver(o dram.Observer) { e.obs = o }
+
+// Observer returns the installed command-stream tap, nil when none. The
+// host checks it before enabling the event core, which issues no
+// per-command callbacks.
+func (e *Engine) Observer() dram.Observer { return e.obs }
 
 // chCmd maps an AiM command to the channel-level command whose timing
 // and bank effects it has: a ganged COLRD performs a COMP-style all-bank
@@ -107,6 +117,23 @@ func (e *Engine) chCmd(cmd dram.Command) dram.Command {
 	}
 	return cmd
 }
+
+// ChannelCommand exposes the chCmd rewrite so callers that bypass Issue
+// (the host event core drives the channel's timed path directly) apply
+// the same ganged-COLRD mapping and therefore the same timing. It
+// rewrites cmd in place — callers that still need the AiM-level kind
+// and bank must save them first.
+func (e *Engine) ChannelCommand(cmd *dram.Command) {
+	if cmd.Kind == dram.KindCOLRD && cmd.Bank == AllBanks {
+		cmd.Kind = dram.KindCOMP
+		cmd.Bank = 0
+	}
+}
+
+// WaitsForDrain reports whether a command kind must wait for the
+// adder-tree pipelines to drain before issue (waitsForDrain, exported
+// for the host event core's scheduler).
+func WaitsForDrain(k dram.Kind) bool { return waitsForDrain(k) }
 
 // EarliestIssue forwards to the channel's timing checker; AiM compute
 // state imposes no additional issue-time constraints except for the
@@ -131,6 +158,35 @@ func (e *Engine) EarliestIssue(cmd dram.Command, from int64) int64 {
 // issue 2, extended to the ISR-era latch commands).
 func waitsForDrain(k dram.Kind) bool {
 	return k == dram.KindREADRES || k == dram.KindRDAF || k == dram.KindWRBIAS
+}
+
+// LatchBroadcast latches global-buffer sub-chunk slot into the pending
+// broadcast register exactly as a BCAST command's functional effect,
+// without timing. It is the host event core's end-of-run
+// synchronization for the de-optimized three-command sequence, so a
+// later oracle-mode command that consumes the pending registers sees
+// the same state it would after a stepped run.
+func (e *Engine) LatchBroadcast(slot int) error {
+	input, err := e.gbuf.SubChunkView(slot)
+	if err != nil {
+		return err
+	}
+	copy(e.pendingInput, input)
+	e.hasInput = true
+	return nil
+}
+
+// LatchFilter latches wire-format filter bytes into one bank's pending
+// filter register exactly as a per-bank COLRD's functional effect,
+// without timing: the other half of the event core's pending-register
+// synchronization.
+func (e *Engine) LatchFilter(bank int, wire []byte) error {
+	if bank < 0 || bank >= len(e.pendingFilter) {
+		return fmt.Errorf("aim: bank %d out of range [0,%d)", bank, len(e.pendingFilter))
+	}
+	bf16.DecodeInto(e.pendingFilter[bank], wire)
+	e.hasFilter[bank] = true
+	return nil
 }
 
 // Result carries the outcome of an issued command.

@@ -1,0 +1,141 @@
+package aim
+
+import (
+	"encoding/binary"
+	"math"
+
+	"newton/internal/bf16"
+)
+
+// This file is the host event core's fused compute kernel: one bank's
+// COMP step — filter decode, lane multiplies, adder-tree reduction,
+// latch accumulate — as a single call over wire-format filter bytes and
+// a pre-widened input sub-chunk. It performs exactly the arithmetic
+// AccumulateLatch performs (the differential test in kernel_test.go
+// holds them bit-identical), but skips the intermediate bf16.Vector
+// materializations Issue's COMP path goes through: DecodeInto's Num
+// round-trip for the filter and the per-lane Num→float32 widening of
+// the input on every column access.
+//
+// One subtlety keeps this from being a plain inline rewrite: when BOTH
+// operands of a float multiply (or of the latch-accumulate add) are
+// NaN, the result's payload is whichever operand the compiled
+// instruction's first source register holds — and Go normalizes
+// commutative operands per call site, so two textually identical
+// expressions in different functions can propagate different payloads
+// (observed in practice). Single-NaN and generated-NaN cases are
+// order-independent. The kernel therefore detects the both-NaN cases
+// per step and reroutes that step through a scratch MACUnit, i.e.
+// through AccumulateLatch's own compiled code, which is exact by
+// construction.
+
+// WidenInto widens a bf16 vector into float32 lanes, the exact value
+// MulFloat would see for each element. The event core pre-widens each
+// input chunk once and reuses it across every tile of the run instead
+// of converting per column access.
+func WidenInto(dst []float32, v bf16.Vector) {
+	for i, n := range v {
+		dst[i] = n.Float32()
+	}
+}
+
+// ColumnKernel is the reusable state for fused column steps: the lane
+// product scratch plus the NaN-fallback MACUnit. One kernel per
+// channel suffices; Step is not safe for concurrent use.
+type ColumnKernel struct {
+	lanes    int
+	scratch  []float32
+	fbUnit   *MACUnit
+	fbFilter bf16.Vector
+}
+
+// NewColumnKernel returns a kernel for the given lane count.
+func NewColumnKernel(lanes int) *ColumnKernel {
+	return &ColumnKernel{
+		lanes:    lanes,
+		scratch:  make([]float32, lanes),
+		fbUnit:   NewMACUnit(lanes),
+		fbFilter: make(bf16.Vector, lanes),
+	}
+}
+
+// Step performs one bank's compute step on a mirrored latch: multiply
+// the wire-format filter column (little-endian bf16, one lane per 2
+// bytes) by the input sub-chunk, reduce through the adder tree, and
+// accumulate into (latch, has), returning the updated state. input and
+// widened are two views of the same sub-chunk — the original Nums and
+// their Float32 widenings — so the fast path multiplies floats while
+// the NaN fallback hands AccumulateLatch the exact operands. wire must
+// hold 2*lanes bytes and input/widened lanes elements.
+//
+// Bit-exactness vs AccumulateLatch, lane by lane: decoding a wire lane
+// to float32 directly (uint16 << 16, Float32frombits) equals
+// DecodeInto-then-Float32, both exact; bf16.Round(f*in) is then
+// MulFloat of the same operands; treeReduceFloats is shared code; the
+// accumulate tail is AccumulateLatch's verbatim; and the operand-order
+// sensitive both-NaN cases never take this path at all.
+func (k *ColumnKernel) Step(wire []byte, input bf16.Vector, widened []float32, latch bf16.Num, has bool) (bf16.Num, bool, error) {
+	bothNaN := false
+	for i, in := range widened {
+		f := math.Float32frombits(uint32(binary.LittleEndian.Uint16(wire[2*i:])) << 16)
+		if f != f && in != in {
+			bothNaN = true
+			break
+		}
+		k.scratch[i] = bf16.Round(f * in)
+	}
+	if !bothNaN {
+		sum := treeReduceFloats(k.scratch[:len(widened)])
+		if !has {
+			return bf16.FromFloat32(sum), true, nil
+		}
+		if !(latch.IsNaN() && sum != sum) {
+			return bf16.FromFloat32(latch.Float32() + sum), true, nil
+		}
+		// latch-NaN + sum-NaN: the final add is order-sensitive too.
+	}
+	return k.fallback(wire, input, latch, has)
+}
+
+// fallback reroutes one step through AccumulateLatch on the scratch
+// unit, so the operand-order-sensitive NaN payload propagation is the
+// oracle's own.
+func (k *ColumnKernel) fallback(wire []byte, input bf16.Vector, latch bf16.Num, has bool) (bf16.Num, bool, error) {
+	bf16.DecodeInto(k.fbFilter, wire)
+	k.fbUnit.SetLatchState(0, latch, has)
+	if err := k.fbUnit.AccumulateLatch(0, k.fbFilter, input, 0, 0); err != nil {
+		return latch, has, err
+	}
+	v, h := k.fbUnit.LatchState(0)
+	return v, h, nil
+}
+
+// StepNums is Step for operands already decoded to Nums — the
+// de-optimized three-command sequence's pending registers — mirroring
+// the MAC command's AccumulateLatch call.
+func (k *ColumnKernel) StepNums(filter, input bf16.Vector, widened []float32, latch bf16.Num, has bool) (bf16.Num, bool, error) {
+	bothNaN := false
+	for i, in := range widened {
+		f := filter[i].Float32()
+		if f != f && in != in {
+			bothNaN = true
+			break
+		}
+		k.scratch[i] = bf16.Round(f * in)
+	}
+	if !bothNaN {
+		sum := treeReduceFloats(k.scratch[:len(widened)])
+		if !has {
+			return bf16.FromFloat32(sum), true, nil
+		}
+		if !(latch.IsNaN() && sum != sum) {
+			return bf16.FromFloat32(latch.Float32() + sum), true, nil
+		}
+	}
+	k.fbUnit.SetLatchState(0, latch, has)
+	if err := k.fbUnit.AccumulateLatch(0, filter, input, 0, 0); err != nil {
+		return latch, has, err
+	}
+	v, h := k.fbUnit.LatchState(0)
+	return v, h, nil
+}

@@ -1,0 +1,91 @@
+package aim
+
+import (
+	"math/rand"
+	"testing"
+
+	"newton/internal/bf16"
+)
+
+// TestColumnKernelMatchesMACUnit holds the fused kernel bit-identical
+// to AccumulateLatch over random accumulation sequences, including the
+// special values (NaNs with and without the quiet bit, infinities,
+// signed zeros, subnormals) whose rounding and payload-propagation
+// behavior the event core's exactness argument leans on.
+func TestColumnKernelMatchesMACUnit(t *testing.T) {
+	const lanes = 16
+	rng := rand.New(rand.NewSource(9))
+	specials := []uint16{
+		0x0000, 0x8000, // +0, -0
+		0x7F80, 0xFF80, // +Inf, -Inf
+		0x7FC0, 0x7F81, 0xFFA5, // quiet NaN, signaling-pattern NaNs
+		0x0001, 0x8001, 0x007F, // subnormals
+		0x3F80, 0xBF80, // +-1
+	}
+	randNum := func() bf16.Num {
+		if rng.Intn(4) == 0 {
+			return bf16.FromBits(specials[rng.Intn(len(specials))])
+		}
+		return bf16.FromBits(uint16(rng.Uint32()))
+	}
+
+	kernel := NewColumnKernel(lanes)
+	for trial := 0; trial < 500; trial++ {
+		unit := NewMACUnit(lanes)
+		var mirror bf16.Num
+		has := false
+		if trial%3 == 1 {
+			// Start from a preloaded bias, as WR_BIAS would.
+			bias := randNum()
+			if err := unit.PreloadLatch(0, bias); err != nil {
+				t.Fatal(err)
+			}
+			mirror, has = bias, true
+		}
+		steps := 1 + rng.Intn(8)
+		for s := 0; s < steps; s++ {
+			filter := make(bf16.Vector, lanes)
+			input := make(bf16.Vector, lanes)
+			for i := 0; i < lanes; i++ {
+				filter[i] = randNum()
+				input[i] = randNum()
+			}
+			if err := unit.Accumulate(filter, input, int64(s), 4); err != nil {
+				t.Fatal(err)
+			}
+			widened := make([]float32, lanes)
+			WidenInto(widened, input)
+			var err error
+			if s%2 == 0 {
+				mirror, has, err = kernel.Step(filter.Bytes(), input, widened, mirror, has)
+			} else {
+				mirror, has, err = kernel.StepNums(filter, input, widened, mirror, has)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want, wantHas := unit.LatchState(0)
+			if mirror != want || has != wantHas {
+				t.Fatalf("trial %d step %d: kernel latch %#04x/%v, MACUnit %#04x/%v",
+					trial, s, uint16(mirror), has, uint16(want), wantHas)
+			}
+		}
+	}
+}
+
+// TestWidenIntoExact holds WidenInto to Num.Float32 bit equality.
+func TestWidenIntoExact(t *testing.T) {
+	v := make(bf16.Vector, 256)
+	for i := range v {
+		v[i] = bf16.FromBits(uint16(i * 257)) // covers all byte patterns incl. NaNs
+	}
+	dst := make([]float32, len(v))
+	WidenInto(dst, v)
+	for i, n := range v {
+		if got, want := dst[i], n.Float32(); got != want &&
+			!(got != got && want != want) { // NaN widens to NaN
+			t.Fatalf("lane %d: widened %x to %v, want %v", i, uint16(n), got, want)
+		}
+	}
+}

@@ -180,6 +180,33 @@ func (m *MACUnit) ResultLatch(latch int) bf16.Num {
 // ReadyAt returns the cycle at which the pipeline has drained.
 func (m *MACUnit) ReadyAt() int64 { return m.readyAt }
 
+// LatchState returns one latch's raw value and valid bit without the
+// Result accessors' zero-substitution, so an external mirror (the host
+// event core) can capture the exact accumulator state.
+func (m *MACUnit) LatchState(latch int) (bf16.Num, bool) {
+	if latch < 0 || latch >= len(m.latches) {
+		return bf16.Zero, false
+	}
+	return m.latches[latch], m.hasValue[latch]
+}
+
+// SetLatchState overwrites one latch's value and valid bit. It is the
+// host event core's end-of-run synchronization path: the core tracks
+// accumulations in its own mirror and writes the final state back so
+// the engine is indistinguishable from one that executed every command.
+func (m *MACUnit) SetLatchState(latch int, v bf16.Num, has bool) {
+	if latch < 0 || latch >= len(m.latches) {
+		return
+	}
+	m.latches[latch] = v
+	m.hasValue[latch] = has
+}
+
+// SetReadyAt forces the drain horizon, the timing half of the event
+// core's end-of-run synchronization. Unlike Accumulate it may move the
+// horizon backward; the caller owns the whole-run timing invariant.
+func (m *MACUnit) SetReadyAt(t int64) { m.readyAt = t }
+
 // Reset clears all latches. Hardware clears a latch as a side effect of
 // READRES; the engine uses ResetLatch then.
 func (m *MACUnit) Reset() {

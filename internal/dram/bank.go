@@ -43,6 +43,13 @@ type Bank struct {
 	nextCol int64 // earliest RD/WR/COMP column access
 
 	rows map[int][]byte
+
+	// version counts stored-data mutations. Every path that can change a
+	// row's bytes (WriteColumn, LoadRow, MutateRow) bumps it, so caches
+	// keyed on bank contents (the host's event-core result memo) can
+	// detect staleness with one integer compare instead of hashing the
+	// stored rows.
+	version uint64
 }
 
 // newBank returns an idle bank with no stored data.
@@ -63,7 +70,7 @@ func (b *Bank) OpenRow() int {
 
 // activate latches row into the sense amplifiers at the given cycle and
 // advances the bank's horizons. The caller has already checked legality.
-func (b *Bank) activate(row int, cycle int64, t Timing) {
+func (b *Bank) activate(row int, cycle int64, t *Timing) {
 	b.state = BankActive
 	b.openRow = row
 	b.nextCol = cycle + t.TRCD
@@ -72,7 +79,7 @@ func (b *Bank) activate(row int, cycle int64, t Timing) {
 }
 
 // precharge closes the open row at the given cycle.
-func (b *Bank) precharge(cycle int64, t Timing) {
+func (b *Bank) precharge(cycle int64, t *Timing) {
 	b.state = BankIdle
 	b.openRow = -1
 	if next := cycle + t.TRP; next > b.nextACT {
@@ -83,7 +90,7 @@ func (b *Bank) precharge(cycle int64, t Timing) {
 // columnAccess records a column command (read, write, or COMP column
 // access) at the given cycle. write extends the precharge horizon by the
 // write-recovery time.
-func (b *Bank) columnAccess(cycle int64, t Timing, write bool) {
+func (b *Bank) columnAccess(cycle int64, t *Timing, write bool) {
 	if next := cycle + t.TCCD; next > b.nextCol {
 		b.nextCol = next
 	}
@@ -147,7 +154,25 @@ func (b *Bank) WriteColumn(col int, data []byte) error {
 		return fmt.Errorf("dram: write data is %d bytes, column I/O is %d", len(data), cb)
 	}
 	copy(b.row(b.openRow)[col*cb:], data)
+	b.version++
 	return nil
+}
+
+// Version returns the bank's stored-data mutation counter: it advances
+// on every WriteColumn, LoadRow and MutateRow, and never otherwise, so
+// equal versions guarantee byte-identical stored rows.
+func (b *Bank) Version() uint64 { return b.version }
+
+// RowView returns row r's backing storage without copying, allocating
+// zeroed storage on first touch like every other access. It is the
+// host event core's zero-allocation read path for whole-row compute;
+// callers must treat the slice as read-only (writes would bypass the
+// Version counter and poison content-keyed caches).
+func (b *Bank) RowView(r int) ([]byte, error) {
+	if r < 0 || r >= b.geo.Rows {
+		return nil, fmt.Errorf("dram: row %d out of range [0,%d)", r, b.geo.Rows)
+	}
+	return b.row(r), nil
 }
 
 // LoadRow stores an entire row image directly, bypassing timing. It is
@@ -161,6 +186,7 @@ func (b *Bank) LoadRow(row int, data []byte) error {
 		return fmt.Errorf("dram: row image is %d bytes, row is %d", len(data), b.geo.RowBytes())
 	}
 	copy(b.row(row), data)
+	b.version++
 	return nil
 }
 
@@ -200,5 +226,6 @@ func (b *Bank) MutateRow(row int, fn func(data []byte)) error {
 		return fmt.Errorf("dram: row %d out of range [0,%d)", row, b.geo.Rows)
 	}
 	fn(b.row(row))
+	b.version++
 	return nil
 }

@@ -18,7 +18,7 @@ func TestBankStateMachine(t *testing.T) {
 	if b.State() != BankIdle || b.OpenRow() != -1 {
 		t.Fatal("new bank not idle")
 	}
-	b.activate(5, 100, tt)
+	b.activate(5, 100, &tt)
 	if b.State() != BankActive || b.OpenRow() != 5 {
 		t.Fatalf("after activate: state=%v row=%d", b.State(), b.OpenRow())
 	}
@@ -31,7 +31,7 @@ func TestBankStateMachine(t *testing.T) {
 	if b.nextACT != 100+tt.TRC() {
 		t.Errorf("nextACT = %d, want %d (tRC)", b.nextACT, 100+tt.TRC())
 	}
-	b.precharge(200, tt)
+	b.precharge(200, &tt)
 	if b.State() != BankIdle || b.OpenRow() != -1 {
 		t.Error("after precharge: bank not idle")
 	}
@@ -47,7 +47,7 @@ func TestBankReadWrite(t *testing.T) {
 	if _, err := b.ReadColumn(0); err == nil {
 		t.Error("read from idle bank accepted")
 	}
-	b.activate(3, 0, tt)
+	b.activate(3, 0, &tt)
 	data := bytes.Repeat([]byte{0xAB}, g.ColBytes())
 	if err := b.WriteColumn(7, data); err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestBankReadWriteErrors(t *testing.T) {
 	g := testGeometry()
 	tt := ConventionalTiming()
 	b := newBank(g)
-	b.activate(0, 0, tt)
+	b.activate(0, 0, &tt)
 	if _, err := b.ReadColumn(-1); err == nil {
 		t.Error("negative column accepted")
 	}
@@ -130,7 +130,7 @@ func TestBankLazyAllocation(t *testing.T) {
 	if b.StoredRows() != 0 {
 		t.Error("fresh bank stores rows")
 	}
-	b.activate(1, 0, tt)
+	b.activate(1, 0, &tt)
 	if _, err := b.ReadColumn(0); err != nil {
 		t.Fatal(err)
 	}
@@ -143,16 +143,16 @@ func TestColumnAccessExtendsPrecharge(t *testing.T) {
 	g := testGeometry()
 	tt := ConventionalTiming()
 	b := newBank(g)
-	b.activate(0, 0, tt)
+	b.activate(0, 0, &tt)
 	// A write near tRAS expiry pushes nextPRE out by tWR.
 	at := tt.TRAS - 1
-	b.columnAccess(at, tt, true)
+	b.columnAccess(at, &tt, true)
 	if b.nextPRE != at+tt.TWR {
 		t.Errorf("nextPRE = %d, want %d (write recovery)", b.nextPRE, at+tt.TWR)
 	}
 	// A later read only needs tCCD before precharge.
 	at2 := at + tt.TWR
-	b.columnAccess(at2, tt, false)
+	b.columnAccess(at2, &tt, false)
 	if b.nextPRE != at2+tt.TCCD {
 		t.Errorf("nextPRE = %d, want %d (read to PRE)", b.nextPRE, at2+tt.TCCD)
 	}

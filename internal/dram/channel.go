@@ -92,6 +92,10 @@ func (ch *Channel) ResetStats() { ch.stats = Stats{} }
 // before the engine's channel-level rewrites.
 func (ch *Channel) SetObserver(o Observer) { ch.obs = o }
 
+// Observer returns the installed tap, nil when none. The host's event
+// core refuses to engage while one is attached (IssueTimed bypasses it).
+func (ch *Channel) Observer() Observer { return ch.obs }
+
 // IssueResult reports the effects of a successfully issued command.
 type IssueResult struct {
 	// DataReady is the cycle at which read data (RD) or result data
@@ -152,7 +156,7 @@ func (ch *Channel) recordActivations(c int64, k int) {
 // legal on this channel, considering only timing (not row-state errors,
 // which are reported by Issue).
 func (ch *Channel) EarliestIssue(cmd Command, from int64) int64 {
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	earliest := from
 	if e := *ch.busOf(cmd.Kind) + t.CmdSlot; e > earliest {
 		earliest = e
@@ -250,7 +254,7 @@ func (ch *Channel) Issue(cmd Command, cycle int64) (IssueResult, error) {
 		return IssueResult{}, err
 	}
 	*ch.busOf(cmd.Kind) = cycle
-	ch.stats.record(cmd, cycle, ch.cfg)
+	ch.stats.record(&cmd, cycle, &ch.cfg)
 	if res.DataReady > ch.stats.LastDataCycle {
 		ch.stats.LastDataCycle = res.DataReady
 	}
@@ -262,7 +266,7 @@ func (ch *Channel) Issue(cmd Command, cycle int64) (IssueResult, error) {
 
 // apply performs the state transition for a timing-legal command.
 func (ch *Channel) apply(cmd Command, cycle int64) (IssueResult, error) {
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	fail := func(reason string) (IssueResult, error) {
 		return IssueResult{}, &Error{Cmd: cmd, Cycle: cycle, Reason: reason}
 	}

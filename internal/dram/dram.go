@@ -104,7 +104,7 @@ type Timing struct {
 }
 
 // TRC returns the row cycle time (ACT to ACT, same bank).
-func (t Timing) TRC() int64 { return t.TRAS + t.TRP }
+func (t *Timing) TRC() int64 { return t.TRAS + t.TRP }
 
 // Validate checks that the timing parameters are physically plausible.
 func (t Timing) Validate() error {

@@ -1,0 +1,222 @@
+package dram
+
+// This file is the channel-side half of the host event core's whole-run
+// replay: a run of the MVM schedule is a deterministic function of the
+// channel's timing state at run start (every command issues at a
+// boundary computed from that state), so a run that starts from a
+// previously seen state — expressed as offsets from the run-start
+// cycle, which is the only absolute in play — transitions to a known
+// end state. TimingSnapshot captures, compares and restores that state;
+// StatsReplay captures a run's statistics delta so it can be re-applied
+// at a different base cycle with record()'s exact min/max semantics.
+
+// bankTiming is one bank's timing-visible state relative to a base
+// cycle: the row-buffer state machine plus the three per-bank horizons.
+type bankTiming struct {
+	state   BankState
+	openRow int
+	nextACT int64
+	nextPRE int64
+	nextCol int64
+}
+
+// TimingSnapshot is a channel's complete command-timing state relative
+// to a base cycle: per-bank states and horizons, the two bus cells, the
+// channel-wide column horizon, and the tRRD/tFAW activation history.
+// Functional state (stored rows, the statistics counters) is
+// deliberately excluded — the event core's memo keys cover the former
+// and StatsReplay the latter. A snapshot taken at one base compares
+// equal at another base exactly when the channel would schedule any
+// command stream identically relative to the two bases.
+type TimingSnapshot struct {
+	banks      []bankTiming
+	lastRowCmd int64
+	lastColCmd int64
+	nextCol    int64
+	lastActCmd int64
+	actWindow  [4]int64
+	actLen     int
+}
+
+// CaptureTiming records the channel's timing state as offsets from
+// base into s, reusing s's storage.
+func (ch *Channel) CaptureTiming(base int64, s *TimingSnapshot) {
+	s.banks = s.banks[:0]
+	for _, b := range ch.banks {
+		s.banks = append(s.banks, bankTiming{
+			state:   b.state,
+			openRow: b.openRow,
+			nextACT: b.nextACT - base,
+			nextPRE: b.nextPRE - base,
+			nextCol: b.nextCol - base,
+		})
+	}
+	s.lastRowCmd = ch.lastRowCmd - base
+	s.lastColCmd = ch.lastColCmd - base
+	s.nextCol = ch.nextCol - base
+	s.lastActCmd = ch.lastActCmd - base
+	s.actLen = len(ch.actWindow)
+	for i, t := range ch.actWindow {
+		s.actWindow[i] = t - base
+	}
+}
+
+// TimingEqual reports whether the channel's current timing state,
+// relative to base, matches the snapshot exactly. Exact offset equality
+// is stricter than behavioral equivalence (a horizon buried far in the
+// past schedules like any other), but it is what consecutive identical
+// runs produce — each run rewrites every horizon it exercised to the
+// same offset — and a miss only costs a normal walk, never correctness.
+func (ch *Channel) TimingEqual(base int64, s *TimingSnapshot) bool {
+	if len(s.banks) != len(ch.banks) || s.actLen != len(ch.actWindow) {
+		return false
+	}
+	for i, b := range ch.banks {
+		bt := &s.banks[i]
+		if b.state != bt.state || b.openRow != bt.openRow ||
+			b.nextACT-base != bt.nextACT ||
+			b.nextPRE-base != bt.nextPRE ||
+			b.nextCol-base != bt.nextCol {
+			return false
+		}
+	}
+	if ch.lastRowCmd-base != s.lastRowCmd || ch.lastColCmd-base != s.lastColCmd ||
+		ch.nextCol-base != s.nextCol || ch.lastActCmd-base != s.lastActCmd {
+		return false
+	}
+	for i, t := range ch.actWindow {
+		if t-base != s.actWindow[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreTiming sets the channel's timing state to the snapshot rebased
+// at base. The snapshot must have been captured from this channel (same
+// bank count); callers pair it with TimingEqual on the matching
+// pre-state, so every field written here is one a real walk from that
+// pre-state would have written to the same value.
+func (ch *Channel) RestoreTiming(base int64, s *TimingSnapshot) {
+	for i, b := range ch.banks {
+		bt := &s.banks[i]
+		b.state = bt.state
+		b.openRow = bt.openRow
+		b.nextACT = base + bt.nextACT
+		b.nextPRE = base + bt.nextPRE
+		b.nextCol = base + bt.nextCol
+	}
+	ch.lastRowCmd = base + s.lastRowCmd
+	ch.lastColCmd = base + s.lastColCmd
+	ch.nextCol = base + s.nextCol
+	ch.lastActCmd = base + s.lastActCmd
+	ch.actWindow = ch.actWindow[:0]
+	for i := 0; i < s.actLen; i++ {
+		ch.actWindow = append(ch.actWindow, base+s.actWindow[i])
+	}
+}
+
+// StatsReplay is one run's statistics contribution relative to a base
+// cycle: the counter deltas plus the cycle-field updates record() would
+// make, recovered from a pre/post snapshot pair. The aggregate diff
+// cannot always pin the cycle fields (a pre LastDataCycle that already
+// exceeds everything the run produced hides the run's own value), so
+// capture marks the record inexact in those cases and replay refuses it.
+type StatsReplay struct {
+	delta       Stats // counter deltas; its cycle fields are unused
+	firstOff    int64
+	lastOff     int64
+	lastDataOff int64
+	hasFirst    bool // the run observed its own first-command cycle
+	hasData     bool // the run moved LastDataCycle (offset recovered)
+	exact       bool
+}
+
+// dataCommands returns how many commands in the delta stamp a
+// data-ready cycle on the channel's timed path.
+func (r *StatsReplay) dataCommands() int64 {
+	return r.delta.Count(KindCOMP) + r.delta.Count(KindCOMPBank) +
+		r.delta.Count(KindCOLRD) + r.delta.Count(KindRDAF) +
+		r.delta.Count(KindREADRES) + r.delta.Count(KindRD)
+}
+
+// CaptureStatsReplay derives a run's replayable statistics delta from
+// snapshots taken before and after it, with base the run-start cycle.
+// All of the run's commands issue at or after base, and base is at or
+// after pre.LastCmdCycle, so the post LastCmdCycle is exactly the run's
+// last command; FirstCmdCycle is only recoverable when the run was the
+// channel's first traffic, and LastDataCycle only when the run advanced
+// it.
+func CaptureStatsReplay(pre, post Stats, base int64) StatsReplay {
+	r := StatsReplay{delta: post.Diff(pre), exact: true}
+	if r.delta.TotalCommands() == 0 {
+		return r
+	}
+	if !pre.issuedAny {
+		r.hasFirst = true
+		r.firstOff = post.FirstCmdCycle - base
+	} else if post.FirstCmdCycle != pre.FirstCmdCycle {
+		// A command issued below the run's base would rewrite history on
+		// replay; the schedule loops never do this, but refuse the record
+		// rather than assume.
+		r.exact = false
+	}
+	r.lastOff = post.LastCmdCycle - base
+	if r.dataCommands() > 0 {
+		if post.LastDataCycle > pre.LastDataCycle {
+			r.hasData = true
+			r.lastDataOff = post.LastDataCycle - base
+		} else {
+			r.exact = false
+		}
+	}
+	return r
+}
+
+// CanApplyStatsReplay reports whether r would land on the channel's
+// current counters exactly as re-running the recorded commands would:
+// the record must be exact, and a run that never learned its own
+// first-command cycle needs the channel to already have one (then the
+// run, issuing at or after base, cannot lower it).
+func (ch *Channel) CanApplyStatsReplay(r *StatsReplay) bool {
+	if !r.exact {
+		return false
+	}
+	if r.delta.TotalCommands() == 0 {
+		return true
+	}
+	return r.hasFirst || ch.stats.issuedAny
+}
+
+// ApplyStatsReplay applies r rebased at base. The caller must have
+// checked CanApplyStatsReplay.
+func (ch *Channel) ApplyStatsReplay(r *StatsReplay, base int64) {
+	if r.delta.TotalCommands() == 0 {
+		return
+	}
+	s := &ch.stats
+	if r.hasFirst {
+		if f := base + r.firstOff; !s.issuedAny || f < s.FirstCmdCycle {
+			s.FirstCmdCycle = f
+		}
+	}
+	if l := base + r.lastOff; l > s.LastCmdCycle {
+		s.LastCmdCycle = l
+	}
+	if r.hasData {
+		if d := base + r.lastDataOff; d > s.LastDataCycle {
+			s.LastDataCycle = d
+		}
+	}
+	s.issuedAny = true
+	for k := range s.commands {
+		s.commands[k] += r.delta.commands[k]
+	}
+	s.Activations += r.delta.Activations
+	s.ColumnReads += r.delta.ColumnReads
+	s.ColumnWrites += r.delta.ColumnWrites
+	s.BytesRead += r.delta.BytesRead
+	s.BytesWritten += r.delta.BytesWritten
+	s.InternalBytesRead += r.delta.InternalBytesRead
+	s.Refreshes += r.delta.Refreshes
+}

@@ -41,8 +41,11 @@ type Stats struct {
 	issuedAny bool
 }
 
-// record updates the counters for one issued command.
-func (s *Stats) record(cmd Command, cycle int64, cfg Config) {
+// record updates the counters for one issued command. It takes a
+// pointer purely to keep the 80-byte Command off the per-command copy
+// path (the event core issues millions); it never mutates or retains
+// cmd.
+func (s *Stats) record(cmd *Command, cycle int64, cfg *Config) {
 	if k := int(cmd.Kind); k >= 0 && k < kindCount {
 		s.commands[k]++
 	}

@@ -5,14 +5,14 @@ import "testing"
 func TestStatsRecordCounts(t *testing.T) {
 	cfg := testConfig()
 	var s Stats
-	s.record(Command{Kind: KindACT}, 10, cfg)
-	s.record(Command{Kind: KindGACT}, 20, cfg)
-	s.record(Command{Kind: KindRD}, 30, cfg)
-	s.record(Command{Kind: KindWR}, 40, cfg)
-	s.record(Command{Kind: KindCOMP}, 50, cfg)
-	s.record(Command{Kind: KindGWRITE}, 60, cfg)
-	s.record(Command{Kind: KindREADRES}, 70, cfg)
-	s.record(Command{Kind: KindREF}, 80, cfg)
+	s.record(&Command{Kind: KindACT}, 10, &cfg)
+	s.record(&Command{Kind: KindGACT}, 20, &cfg)
+	s.record(&Command{Kind: KindRD}, 30, &cfg)
+	s.record(&Command{Kind: KindWR}, 40, &cfg)
+	s.record(&Command{Kind: KindCOMP}, 50, &cfg)
+	s.record(&Command{Kind: KindGWRITE}, 60, &cfg)
+	s.record(&Command{Kind: KindREADRES}, 70, &cfg)
+	s.record(&Command{Kind: KindREF}, 80, &cfg)
 
 	if got := s.Activations; got != 1+int64(cfg.Geometry.BanksPerCluster) {
 		t.Errorf("Activations = %d", got)
@@ -44,10 +44,10 @@ func TestStatsRecordCounts(t *testing.T) {
 func TestStatsDiff(t *testing.T) {
 	cfg := testConfig()
 	var s Stats
-	s.record(Command{Kind: KindRD}, 1, cfg)
+	s.record(&Command{Kind: KindRD}, 1, &cfg)
 	snap := s.Clone()
-	s.record(Command{Kind: KindRD}, 2, cfg)
-	s.record(Command{Kind: KindACT}, 3, cfg)
+	s.record(&Command{Kind: KindRD}, 2, &cfg)
+	s.record(&Command{Kind: KindACT}, 3, &cfg)
 	d := s.Diff(snap)
 	if d.Count(KindRD) != 1 || d.Count(KindACT) != 1 {
 		t.Errorf("diff counts wrong: RD=%d ACT=%d", d.Count(KindRD), d.Count(KindACT))
@@ -63,9 +63,9 @@ func TestStatsDiff(t *testing.T) {
 func TestStatsAdd(t *testing.T) {
 	cfg := testConfig()
 	var a, b Stats
-	a.record(Command{Kind: KindRD}, 5, cfg)
-	b.record(Command{Kind: KindWR}, 3, cfg)
-	b.record(Command{Kind: KindREF}, 9, cfg)
+	a.record(&Command{Kind: KindRD}, 5, &cfg)
+	b.record(&Command{Kind: KindWR}, 3, &cfg)
+	b.record(&Command{Kind: KindREF}, 9, &cfg)
 	a.Add(b)
 	if a.TotalCommands() != 3 || a.Refreshes != 1 {
 		t.Errorf("Add totals wrong: %d cmds %d refs", a.TotalCommands(), a.Refreshes)

@@ -45,6 +45,13 @@ type Config struct {
 	// checker (internal/conformance): any timing or protocol violation
 	// fails the experiment (newton-bench -verify).
 	Verify bool
+	// Oracle forces every Newton controller onto the stepping reference
+	// engine (host.Options.Oracle) instead of the event-driven core. The
+	// two are byte-identical across every figure (the property
+	// TestOracleKnobIdentity pins it), so Oracle exists only for A/B
+	// benchmarking the cores and for bisecting a suspected event-core bug
+	// (newton-bench -oracle).
+	Oracle bool
 	// Serial forces every simulation and sweep onto the serial reference
 	// path: controllers simulate channels one at a time
 	// (host.ParallelOff) and figure runners stop fanning independent
@@ -117,6 +124,7 @@ func (c Config) inputFor(cols int) bf16.Vector {
 // points before "aggressive tFAW" use conventional timing.
 func (c Config) runNewtonVariant(b workloads.Bench, opts host.Options, aggressiveTFAW bool, banks int) (*host.Result, error) {
 	opts.Verify = opts.Verify || c.Verify
+	opts.Oracle = opts.Oracle || c.Oracle
 	opts.Parallel = c.hostParallel()
 	ctrl, err := host.NewController(c.dramConfig(banks, aggressiveTFAW), opts)
 	if err != nil {
@@ -215,6 +223,7 @@ func (c Config) paperNewton() host.Options {
 	o := host.Newton()
 	o.OverlapBufferLoad = false
 	o.Verify = c.Verify
+	o.Oracle = c.Oracle
 	o.Parallel = c.hostParallel()
 	return o
 }
@@ -223,6 +232,7 @@ func (c Config) paperNewton() host.Options {
 func (c Config) paperVariant(o host.Options) host.Options {
 	o.OverlapBufferLoad = false
 	o.Verify = o.Verify || c.Verify
+	o.Oracle = o.Oracle || c.Oracle
 	o.Parallel = c.hostParallel()
 	return o
 }

@@ -192,6 +192,7 @@ func (c Config) faultPoint(spec nn.Model, ber float64, protected bool) (FaultPoi
 	dcfg := c.dramConfig(c.Banks, true)
 	opts := host.Newton()
 	opts.Verify = c.Verify
+	opts.Oracle = c.Oracle
 	opts.Parallel = c.hostParallel()
 	ctrl, err := host.NewController(dcfg, opts)
 	if err != nil {

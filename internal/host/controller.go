@@ -45,6 +45,17 @@ type Controller struct {
 	// obs, when Observe attached a registry or tracer, publishes per-run
 	// metrics and spans after each RunMVM; nil costs one pointer check.
 	obs *hostObs
+	// events holds each channel's event-core executor, created lazily on
+	// the first event-mode run and reused across runs so the warm path
+	// allocates nothing (the executor carries the result memo).
+	events []*eventExec
+	// engineGen counts, per channel, the moments at which engine state
+	// may have changed outside the event core: every oracle-path issue
+	// and every hand-out of the engine through the Engine accessor. The
+	// event executor compares it to skip reloading its latch/drain
+	// mirrors on warm runs (the mirrors are authoritative right after
+	// its own write-back).
+	engineGen []uint64
 }
 
 // NewController builds a controller and its channels.
@@ -59,6 +70,8 @@ func NewController(cfg dram.Config, opts Options) (*Controller, error) {
 		now:         make([]int64, cfg.Geometry.Channels),
 		nextRefresh: make([]int64, cfg.Geometry.Channels),
 		actScratch:  make([][]dram.Command, cfg.Geometry.Channels),
+		events:      make([]*eventExec, cfg.Geometry.Channels),
+		engineGen:   make([]uint64, cfg.Geometry.Channels),
 	}
 	c.rows = addr.NewRowAllocator(cfg.Geometry.Rows)
 	if opts.Verify {
@@ -94,8 +107,14 @@ func (c *Controller) Config() dram.Config { return c.cfg }
 // Options returns the active optimization set.
 func (c *Controller) Options() Options { return c.opts }
 
-// Engine returns channel i's AiM engine, for tests and tracing.
-func (c *Controller) Engine(i int) *aim.Engine { return c.engines[i] }
+// Engine returns channel i's AiM engine, for tests and tracing. Handing
+// the engine out counts as a potential state change: the caller may
+// mutate latches or bank contents directly, so the channel's event
+// executor reloads its mirrors on its next run.
+func (c *Controller) Engine(i int) *aim.Engine {
+	c.engineGen[i]++
+	return c.engines[i]
+}
 
 // Now returns the global clock: the maximum of the channel clocks.
 func (c *Controller) Now() int64 {
@@ -265,7 +284,7 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 
 	err = par.ForEachErr(c.workers(), len(c.engines), func(ch int) error {
 		c.now[ch] = start
-		finish, err := c.runChannel(ch, p, ri, out)
+		finish, err := c.runChannel(ch, p, ri, v, out)
 		if err != nil {
 			return fmt.Errorf("host: channel %d: %w", ch, err)
 		}
@@ -289,6 +308,43 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 	return res, nil
 }
 
+// chanIssuer is the per-channel command sink the schedule loops drive.
+// The loops encode WHAT Newton's controller issues (Algorithm 1 and its
+// ablation variants); the issuer decides HOW a command is simulated:
+// oracleIssuer steps every command through the full engine (timing +
+// functional datapath + observers), eventExec walks only the analytic
+// timing boundaries and computes results through the fused kernel and
+// its memo. Both produce byte-identical outputs, cycles and stats; the
+// differential tests and FuzzEventCore hold them to it.
+type chanIssuer interface {
+	// issue schedules cmd at its earliest legal cycle at or after the
+	// channel clock and advances the clock to the issue cycle.
+	issue(cmd dram.Command) (aim.Result, error)
+	// earliest reports the earliest legal issue cycle without issuing.
+	earliest(cmd dram.Command) int64
+	// maybeRefresh applies the refresh policy before an operation
+	// estimated at est cycles.
+	maybeRefresh(est int64) error
+}
+
+// oracleIssuer is the stepping reference: every command goes through
+// aim.Engine.Issue with its functional datapath, observers and the
+// redundant timing re-check. It is the differential oracle behind
+// Options.Oracle and remains the only path for traced, verified, or
+// externally observed runs.
+type oracleIssuer struct {
+	c  *Controller
+	ch int
+}
+
+func (o oracleIssuer) issue(cmd dram.Command) (aim.Result, error) { return o.c.issue(o.ch, cmd) }
+
+func (o oracleIssuer) earliest(cmd dram.Command) int64 {
+	return o.c.engines[o.ch].EarliestIssue(cmd, o.c.now[o.ch])
+}
+
+func (o oracleIssuer) maybeRefresh(est int64) error { return o.c.maybeRefresh(o.ch, est) }
+
 // issue schedules cmd at its earliest legal cycle at or after the
 // channel's clock and advances the clock to the issue cycle. The host
 // issues commands in program order per channel, which is how a real
@@ -301,6 +357,7 @@ func (c *Controller) issue(ch int, cmd dram.Command) (aim.Result, error) {
 		return aim.Result{}, err
 	}
 	c.now[ch] = at
+	c.engineGen[ch]++
 	if c.verify != nil {
 		// Fail fast: a verified run stops at the first conformance
 		// violation rather than accumulating them silently.
@@ -354,9 +411,9 @@ func (c *Controller) colIOs(p *layout.Placement, chunk int) int {
 // loadGlobalBuffer GWRITEs the chunk's live slots into the channel's
 // global buffer, serialized before the activations as the paper's
 // controller does.
-func (c *Controller) loadGlobalBuffer(ch int, ri *runInput, chunk, slots int) error {
+func (c *Controller) loadGlobalBuffer(x chanIssuer, ri *runInput, chunk, slots int) error {
 	for s := 0; s < slots; s++ {
-		if _, err := c.issue(ch, dram.Command{Kind: dram.KindGWRITE, Col: s, Data: ri.slotData(chunk, s)}); err != nil {
+		if _, err := x.issue(dram.Command{Kind: dram.KindGWRITE, Col: s, Data: ri.slotData(chunk, s)}); err != nil {
 			return err
 		}
 	}
@@ -367,14 +424,14 @@ func (c *Controller) loadGlobalBuffer(ch int, ri *runInput, chunk, slots int) er
 // bank. With OverlapBufferLoad it interleaves the column-bus GWRITEs
 // with the row-bus activations, issuing whichever is legal earlier;
 // otherwise it serializes them, as the paper's controller does.
-func (c *Controller) loadBufferAndActivate(ch int, ri *runInput, chunk, slots, dramRow int) error {
+func (c *Controller) loadBufferAndActivate(x chanIssuer, ch int, ri *runInput, chunk, slots, dramRow int) error {
 	if !c.opts.OverlapBufferLoad {
-		if err := c.loadGlobalBuffer(ch, ri, chunk, slots); err != nil {
+		if err := c.loadGlobalBuffer(x, ri, chunk, slots); err != nil {
 			return err
 		}
-		return c.activateRow(ch, dramRow)
+		return c.activateRowOn(x, dramRow)
 	}
-	return c.overlapLoadActivate(ch, ri, chunk, slots, dramRow)
+	return c.overlapLoadActivate(x, ch, ri, chunk, slots, dramRow)
 }
 
 // overlapLoadActivate overlaps the global-buffer load (column-bus
@@ -384,7 +441,7 @@ func (c *Controller) loadBufferAndActivate(ch int, ri *runInput, chunk, slots, d
 // treats activation overhead as exposed once per tile; the buffer load,
 // which this overlap hides under, is outside that model. Commands issue
 // in earliest-first order, activations winning ties.
-func (c *Controller) overlapLoadActivate(ch int, ri *runInput, chunk, slots, dramRow int) error {
+func (c *Controller) overlapLoadActivate(x chanIssuer, ch int, ri *runInput, chunk, slots, dramRow int) error {
 	acts := c.actScratch[ch][:0]
 	if c.opts.GangedActivation {
 		for cl := 0; cl < c.cfg.Geometry.Clusters(); cl++ {
@@ -397,91 +454,128 @@ func (c *Controller) overlapLoadActivate(ch int, ri *runInput, chunk, slots, dra
 	}
 	c.actScratch[ch] = acts
 	slot := 0
+	// Each branch issues its command literal directly: with the 80-byte
+	// Command passed by value at the issuer boundary, routing through a
+	// shared temporary would cost an extra struct copy per command.
+	//
+	// The two rivals' earliest cycles are cached across iterations: a
+	// GWRITE's is exactly max(column bus + CmdSlot, channel clock)
+	// (slot-paced, no bank or drain constraints), an ACT/GACT's depends
+	// only on row-side state (row bus, bank nextACT horizons, tRRD, the
+	// tFAW activation window) plus the clock. Issuing one rival never
+	// moves the other's state terms — GWRITEs occupy only the column
+	// bus, activations only row-side state, and refresh catch-up happens
+	// at tile boundaries outside this loop — so each cached value stays
+	// exact until its own command issues, provided it is re-floored by
+	// the advancing clock (for the tFAW search the floor commutes:
+	// with a fixed activation history the window constraint is monotone
+	// in time, so max(fawEarliest(a), now) == fawEarliest(max(a, now))).
+	gwAt, actAt := int64(-1), int64(-1)
 	for len(acts) > 0 || slot < slots {
-		var next dram.Command
-		switch {
-		case len(acts) == 0:
-			next = dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)}
-			slot++
-		case slot >= slots:
-			next = acts[0]
-			acts = acts[1:]
-		default:
-			actAt := c.engines[ch].EarliestIssue(acts[0], c.now[ch])
-			gw := dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)}
-			if gwAt := c.engines[ch].EarliestIssue(gw, c.now[ch]); gwAt < actAt {
-				next = gw
-				slot++
-			} else {
-				next = acts[0]
-				acts = acts[1:]
+		takeGW := len(acts) == 0
+		if !takeGW && slot < slots {
+			if gwAt < 0 {
+				gwAt = x.earliest(dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)})
 			}
+			if actAt < 0 {
+				actAt = x.earliest(acts[0])
+			}
+			g, a := gwAt, actAt
+			if n := c.now[ch]; n > g {
+				g = n
+			}
+			if n := c.now[ch]; n > a {
+				a = n
+			}
+			takeGW = g < a
 		}
-		if _, err := c.issue(ch, next); err != nil {
-			return err
+		if takeGW {
+			if _, err := x.issue(dram.Command{Kind: dram.KindGWRITE, Col: slot, Data: ri.slotData(chunk, slot)}); err != nil {
+				return err
+			}
+			slot++
+			gwAt = -1
+		} else {
+			if _, err := x.issue(acts[0]); err != nil {
+				return err
+			}
+			acts = acts[1:]
+			actAt = -1
 		}
 	}
 	return nil
 }
 
-// activateRow opens dramRow in every bank, ganged or per bank.
+// activateRow opens dramRow in every bank on the stepping path (the ISR
+// frontend's entry point); activateRowOn is the issuer-parameterized
+// body shared with the event core.
 func (c *Controller) activateRow(ch, dramRow int) error {
+	return c.activateRowOn(oracleIssuer{c, ch}, dramRow)
+}
+
+// activateRowOn opens dramRow in every bank, ganged or per bank.
+func (c *Controller) activateRowOn(x chanIssuer, dramRow int) error {
 	if c.opts.GangedActivation {
 		for cl := 0; cl < c.cfg.Geometry.Clusters(); cl++ {
-			if _, err := c.issue(ch, dram.Command{Kind: dram.KindGACT, Cluster: cl, Row: dramRow}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindGACT, Cluster: cl, Row: dramRow}); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	for b := 0; b < c.cfg.Geometry.Banks; b++ {
-		if _, err := c.issue(ch, dram.Command{Kind: dram.KindACT, Bank: b, Row: dramRow}); err != nil {
+		if _, err := x.issue(dram.Command{Kind: dram.KindACT, Bank: b, Row: dramRow}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// computeRow issues the compute commands consuming `slots` sub-chunks of
-// the open row in every bank, accumulating into the given result latch,
-// expanded according to the gang/complex optimization flags.
+// computeRow issues the compute commands for one row on the stepping
+// path (the ISR frontend's entry point); computeRowOn is the
+// issuer-parameterized body shared with the event core.
 func (c *Controller) computeRow(ch, slots, latch int) error {
+	return c.computeRowOn(oracleIssuer{c, ch}, slots, latch)
+}
+
+// computeRowOn issues the compute commands consuming `slots` sub-chunks
+// of the open row in every bank, accumulating into the given result
+// latch, expanded according to the gang/complex optimization flags.
+func (c *Controller) computeRowOn(x chanIssuer, slots, latch int) error {
 	banks := c.cfg.Geometry.Banks
-	issue := func(cmd dram.Command) error {
-		_, err := c.issue(ch, cmd)
-		return err
-	}
+	// x.issue is called directly with each command literal: a wrapping
+	// closure would add an 80-byte Command copy to every compute command.
 	for s := 0; s < slots; s++ {
 		switch {
 		case c.opts.GangedCompute && c.opts.ComplexCommands:
-			if err := issue(dram.Command{Kind: dram.KindCOMP, Col: s, Latch: latch}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindCOMP, Col: s, Latch: latch}); err != nil {
 				return err
 			}
 		case c.opts.GangedCompute: // three simple commands, all banks each
-			if err := issue(dram.Command{Kind: dram.KindBCAST, Col: s}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindBCAST, Col: s}); err != nil {
 				return err
 			}
-			if err := issue(dram.Command{Kind: dram.KindCOLRD, Bank: aim.AllBanks, Col: s}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindCOLRD, Bank: aim.AllBanks, Col: s}); err != nil {
 				return err
 			}
-			if err := issue(dram.Command{Kind: dram.KindMAC, Bank: aim.AllBanks, Latch: latch}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindMAC, Bank: aim.AllBanks, Latch: latch}); err != nil {
 				return err
 			}
 		case c.opts.ComplexCommands: // one fused command per bank
 			for b := 0; b < banks; b++ {
-				if err := issue(dram.Command{Kind: dram.KindCOMPBank, Bank: b, Col: s, Latch: latch}); err != nil {
+				if _, err := x.issue(dram.Command{Kind: dram.KindCOMPBank, Bank: b, Col: s, Latch: latch}); err != nil {
 					return err
 				}
 			}
 		default: // three simple commands per bank
 			for b := 0; b < banks; b++ {
-				if err := issue(dram.Command{Kind: dram.KindBCAST, Bank: b, Col: s}); err != nil {
+				if _, err := x.issue(dram.Command{Kind: dram.KindBCAST, Bank: b, Col: s}); err != nil {
 					return err
 				}
-				if err := issue(dram.Command{Kind: dram.KindCOLRD, Bank: b, Col: s}); err != nil {
+				if _, err := x.issue(dram.Command{Kind: dram.KindCOLRD, Bank: b, Col: s}); err != nil {
 					return err
 				}
-				if err := issue(dram.Command{Kind: dram.KindMAC, Bank: b, Latch: latch}); err != nil {
+				if _, err := x.issue(dram.Command{Kind: dram.KindMAC, Bank: b, Latch: latch}); err != nil {
 					return err
 				}
 			}
@@ -492,8 +586,8 @@ func (c *Controller) computeRow(ch, slots, latch int) error {
 
 // estimateTile upper-bounds a tile's duration for the refresh decision.
 func (c *Controller) estimateTile(slots int, withBufferLoad bool) int64 {
-	t := c.cfg.Timing
-	g := c.cfg.Geometry
+	t := &c.cfg.Timing
+	g := &c.cfg.Geometry
 	perSlot := int64(1)
 	if !c.opts.ComplexCommands {
 		perSlot = 3
@@ -523,21 +617,54 @@ func (c *Controller) estimateTile(slots int, withBufferLoad bool) int64 {
 // runChannel executes the channel's shard of the product and returns the
 // channel's finish cycle. out receives this channel's matrix rows; no
 // other channel writes them, so the channel goroutines never contend.
-func (c *Controller) runChannel(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
+//
+// The schedule — which commands, in which order — is decided here once;
+// the issuer decides how each command is simulated. The event core runs
+// whenever nothing needs to watch the per-command stream: Options.Oracle
+// forces the stepping engine, and Trace hooks, conformance verification
+// and command-stream observers all require it (the event core issues no
+// observable per-command callbacks).
+func (c *Controller) runChannel(ch int, p *layout.Placement, ri *runInput, v bf16.Vector, out []float32) (int64, error) {
+	var x chanIssuer
+	var ev *eventExec
+	if c.eventMode(ch) {
+		ev = c.eventFor(ch)
+		ev.begin(p, v)
+		// A warm rerun — same input against the same machine state —
+		// needs no walk at all: the whole run is applied as one recorded
+		// state transition (see runRecord).
+		if finish, ok := ev.tryReplayRun(out); ok {
+			return finish, ev.finishRun(true, out)
+		}
+		x = ev
+	} else {
+		x = oracleIssuer{c, ch}
+	}
+	finish, err := c.runSchedule(x, ch, p, ri, out)
+	if ev != nil {
+		if ferr := ev.finishRun(err == nil, out); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return finish, err
+}
+
+// runSchedule dispatches to the layout's schedule loop.
+func (c *Controller) runSchedule(x chanIssuer, ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	switch {
 	case c.opts.Reuse:
-		return c.runChannelInterleaved(ch, p, ri, out)
+		return c.runChannelInterleaved(x, ch, p, ri, out)
 	case c.opts.Latches() > 1:
-		return c.runChannelQuadLatch(ch, p, ri, out)
+		return c.runChannelQuadLatch(x, ch, p, ri, out)
 	default:
-		return c.runChannelRowMajor(ch, p, ri, out)
+		return c.runChannelRowMajor(x, ch, p, ri, out)
 	}
 }
 
 // runChannelInterleaved is Algorithm 1: hold one input chunk in the
 // global buffer and sweep it down all the channel's tiles (column-major
 // tile traversal), reading one partial output element per bank per tile.
-func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
+func (c *Controller) runChannelInterleaved(x chanIssuer, ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
@@ -545,33 +672,33 @@ func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, ri *runI
 	for chunk := 0; chunk < p.NumChunks(); chunk++ {
 		slots := c.colIOs(p, chunk)
 		est := c.estimateTile(slots, false)
-		if err := c.maybeRefresh(ch, est+int64(slots)*c.cfg.Timing.CmdSlot); err != nil {
+		if err := x.maybeRefresh(est + int64(slots)*c.cfg.Timing.CmdSlot); err != nil {
 			return 0, err
 		}
 		// The chunk's buffer load overlaps the first tile's activations.
-		if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, 0)); err != nil {
+		if err := c.loadBufferAndActivate(x, ch, ri, chunk, slots, p.RowFor(ch, chunk, 0)); err != nil {
 			return 0, err
 		}
 		for lt := 0; lt < ct; lt++ {
 			if lt > 0 {
 				// The first tile's banks are already open (and a refresh
 				// here would be illegal anyway).
-				if err := c.maybeRefresh(ch, est); err != nil {
+				if err := x.maybeRefresh(est); err != nil {
 					return 0, err
 				}
-				if err := c.activateRow(ch, p.RowFor(ch, chunk, lt)); err != nil {
+				if err := c.activateRowOn(x, p.RowFor(ch, chunk, lt)); err != nil {
 					return 0, err
 				}
 			}
-			if err := c.computeRow(ch, slots, 0); err != nil {
+			if err := c.computeRowOn(x, slots, 0); err != nil {
 				return 0, err
 			}
 			// Close the banks; the row-bus precharge overlaps with the
 			// column-bus result read.
-			if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindPREA}); err != nil {
 				return 0, err
 			}
-			r, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES})
+			r, err := x.issue(dram.Command{Kind: dram.KindREADRES})
 			if err != nil {
 				return 0, err
 			}
@@ -591,7 +718,7 @@ func (c *Controller) runChannelInterleaved(ch int, p *layout.Placement, ri *runI
 // result latches per bank, so one global-buffer load is reused among L
 // matrix rows per bank instead of one. The paper found it buys almost
 // nothing over full-reuse Newton and costs latch area.
-func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
+func (c *Controller) runChannelQuadLatch(x chanIssuer, ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
@@ -605,32 +732,32 @@ func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, ri *runInp
 		for chunk := 0; chunk < p.NumChunks(); chunk++ {
 			slots := c.colIOs(p, chunk)
 			est := int64(size)*c.estimateTile(slots, false) + int64(slots)*c.cfg.Timing.CmdSlot
-			if err := c.maybeRefresh(ch, est); err != nil {
+			if err := x.maybeRefresh(est); err != nil {
 				return 0, err
 			}
 			// One input fetch serves `size` matrix rows per bank, with
 			// the first row's activations overlapped under the fetch.
-			if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, g*latches)); err != nil {
+			if err := c.loadBufferAndActivate(x, ch, ri, chunk, slots, p.RowFor(ch, chunk, g*latches)); err != nil {
 				return 0, err
 			}
 			for r := 0; r < size; r++ {
 				lt := g*latches + r
 				if r > 0 {
-					if err := c.activateRow(ch, p.RowFor(ch, chunk, lt)); err != nil {
+					if err := c.activateRowOn(x, p.RowFor(ch, chunk, lt)); err != nil {
 						return 0, err
 					}
 				}
-				if err := c.computeRow(ch, slots, r); err != nil {
+				if err := c.computeRowOn(x, slots, r); err != nil {
 					return 0, err
 				}
-				if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+				if _, err := x.issue(dram.Command{Kind: dram.KindPREA}); err != nil {
 					return 0, err
 				}
 			}
 		}
 		// One result read per full matrix row, L rows per group.
 		for r := 0; r < size; r++ {
-			res, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES, Latch: r})
+			res, err := x.issue(dram.Command{Kind: dram.KindREADRES, Latch: r})
 			if err != nil {
 				return 0, err
 			}
@@ -649,7 +776,7 @@ func (c *Controller) runChannelQuadLatch(ch int, p *layout.Placement, ri *runInp
 // tile traversal accumulates a full matrix row per bank (one READRES per
 // tile instead of one per DRAM row) but must re-fetch the input chunk
 // into the global buffer for every tile.
-func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
+func (c *Controller) runChannelRowMajor(x chanIssuer, ch int, p *layout.Placement, ri *runInput, out []float32) (int64, error) {
 	ct := p.ChannelTiles(ch)
 	if ct == 0 {
 		return c.now[ch], nil
@@ -657,24 +784,24 @@ func (c *Controller) runChannelRowMajor(ch int, p *layout.Placement, ri *runInpu
 	for lt := 0; lt < ct; lt++ {
 		for chunk := 0; chunk < p.NumChunks(); chunk++ {
 			slots := c.colIOs(p, chunk)
-			if err := c.maybeRefresh(ch, c.estimateTile(slots, true)); err != nil {
+			if err := x.maybeRefresh(c.estimateTile(slots, true)); err != nil {
 				return 0, err
 			}
 			// The input chunk is re-fetched for every tile - the traffic
 			// rise that makes this variant lose - with the activations
 			// overlapped under the re-fetch.
-			if err := c.loadBufferAndActivate(ch, ri, chunk, slots, p.RowFor(ch, chunk, lt)); err != nil {
+			if err := c.loadBufferAndActivate(x, ch, ri, chunk, slots, p.RowFor(ch, chunk, lt)); err != nil {
 				return 0, err
 			}
-			if err := c.computeRow(ch, slots, 0); err != nil {
+			if err := c.computeRowOn(x, slots, 0); err != nil {
 				return 0, err
 			}
-			if _, err := c.issue(ch, dram.Command{Kind: dram.KindPREA}); err != nil {
+			if _, err := x.issue(dram.Command{Kind: dram.KindPREA}); err != nil {
 				return 0, err
 			}
 		}
 		// One result read per full matrix row (per tile).
-		r, err := c.issue(ch, dram.Command{Kind: dram.KindREADRES})
+		r, err := x.issue(dram.Command{Kind: dram.KindREADRES})
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,546 @@
+package host
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"newton/internal/aim"
+	"newton/internal/bf16"
+	"newton/internal/dram"
+	"newton/internal/layout"
+	"newton/internal/obs"
+)
+
+// eventLadder is the option grid the event-core differential tests walk:
+// every schedule family (interleaved, row-major, quad-latch, non-opt)
+// plus the overlap and in-DRAM-activation toggles that change the
+// command stream's shape.
+func eventLadder() []struct {
+	name string
+	opts Options
+} {
+	overlapOff := Newton()
+	overlapOff.OverlapBufferLoad = false
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"newton", Newton()},
+		{"newton-no-overlap", overlapOff},
+		{"non-opt", NonOpt()},
+		{"no-reuse", NoReuse()},
+		{"quad-latch", QuadLatch()},
+	}
+}
+
+// oracleOf returns the stepping-oracle twin of an option set, with the
+// independent conformance checker attached so the oracle side also
+// proves the command stream legal.
+func oracleOf(opts Options) Options {
+	opts.Oracle = true
+	opts.Verify = true
+	return opts
+}
+
+// driveRuns executes the same multi-run session against one controller:
+// several products with varying inputs (including an exact repeat, which
+// the event core answers from its memo), a host-time Advance, and a
+// WR_BIAS preload between runs. It returns every Result plus the final
+// clock and cumulative stats.
+func driveRuns(t *testing.T, cfg dram.Config, opts Options, m *layout.Matrix) ([]*Result, int64, dram.Stats) {
+	t.Helper()
+	c, err := NewController(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Place(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []bf16.Vector{
+		randomVector(m.Cols, 11),
+		randomVector(m.Cols, 12),
+		randomVector(m.Cols, 11), // repeat of run 0: the memo-replay case
+	}
+	var results []*Result
+	for i, v := range inputs {
+		res, err := c.RunMVM(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		if i == 0 {
+			c.Advance(137) // exposed host work between layers
+		}
+		if i == 1 {
+			// Preload every bank's latch 0 with a bias through the
+			// oracle-path ISR hook; run 2 must fold it in despite being a
+			// byte-identical repeat of run 0's input (the memo key includes
+			// the initial latch state, so the event core recomputes).
+			banks := cfg.Geometry.Banks
+			bias := make([]byte, 2*banks)
+			for b := 0; b < banks; b++ {
+				binary.LittleEndian.PutUint16(bias[2*b:], uint16(bf16.FromFloat32(float32(b)-3.5)))
+			}
+			for ch := 0; ch < c.Channels(); ch++ {
+				if _, _, err := c.IssueCommand(ch, dram.Command{Kind: dram.KindWRBIAS, Latch: 0, Data: bias}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if v := c.Conformance(); v != nil && len(v.Violations()) > 0 {
+		t.Fatalf("conformance violations: %v", v.Violations()[0])
+	}
+	return results, c.Now(), c.Stats()
+}
+
+// TestEventCoreMatchesOracle is the tentpole gate: across every schedule
+// family and a multi-run session with memo replays, host advances and
+// ISR-path latch preloads, the event core's outputs, cycle accounting,
+// dram.Stats and final clock are byte-identical to the stepping oracle
+// running under independent conformance checking.
+func TestEventCoreMatchesOracle(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(96, 600, 7)
+	for _, tc := range eventLadder() {
+		t.Run(tc.name, func(t *testing.T) {
+			ev := tc.opts
+			ev.Parallel = ParallelOff
+			eres, enow, estats := driveRuns(t, cfg, ev, m)
+			ores, onow, ostats := driveRuns(t, cfg, oracleOf(ev), m)
+			for i := range ores {
+				assertResultsIdentical(t, ores[i], eres[i], tc.name)
+			}
+			if enow != onow {
+				t.Errorf("final clock %d event, %d oracle", enow, onow)
+			}
+			if estats != ostats {
+				t.Errorf("cumulative stats differ:\nevent:  %+v\noracle: %+v", estats, ostats)
+			}
+		})
+	}
+}
+
+// TestEventCoreLUTMatchesOracle covers the in-DRAM activation readout:
+// installing, swapping and removing a LUT between runs must track the
+// oracle, including on memo replays (frames are memoized pre-LUT).
+func TestEventCoreLUTMatchesOracle(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(64, 384, 21)
+	v := randomVector(m.Cols, 22)
+	drive := func(opts Options) []*Result {
+		c, err := NewController(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.Place(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []*Result
+		for _, sel := range []int{dram.AFReLU, dram.AFSigmoid, dram.AFNone, dram.AFReLU} {
+			c.SetActivation(aim.StandardLUT(sel))
+			res, err := c.RunMVM(p, v) // same input every run: replays after run 0
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		if s := c.Conformance(); s != nil && len(s.Violations()) > 0 {
+			t.Fatalf("conformance violations: %v", s.Violations()[0])
+		}
+		return results
+	}
+	opts := NoReuse()
+	opts.Parallel = ParallelOff
+	eres := drive(opts)
+	ores := drive(oracleOf(opts))
+	for i := range ores {
+		assertResultsIdentical(t, ores[i], eres[i], "lut")
+	}
+	// The activation selections must have mattered: runs with different
+	// LUTs over the same input disagree somewhere.
+	if reflect.DeepEqual(eres[0].Output, eres[2].Output) {
+		t.Fatalf("ReLU and identity runs agree — the LUT was not applied")
+	}
+}
+
+// TestEventCoreRunReplayMatchesOracle targets the whole-run replay: long
+// stretches of byte-identical runs (the serving steady state) must stay
+// indistinguishable from the oracle while the event core applies them as
+// single recorded state transitions, across host advances that shift the
+// refresh phase and input changes that force re-walks in between. For
+// complex-command schedules it also asserts the replay path actually
+// engaged, so the comparison cannot silently degrade into walk-vs-walk.
+func TestEventCoreRunReplayMatchesOracle(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(96, 600, 57)
+	va := randomVector(m.Cols, 61)
+	vb := randomVector(m.Cols, 62)
+	for _, tc := range eventLadder() {
+		t.Run(tc.name, func(t *testing.T) {
+			drive := func(opts Options) ([]*Result, int64, dram.Stats, *Controller) {
+				c, err := NewController(cfg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := c.Place(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var results []*Result
+				run := func(v bf16.Vector) {
+					res, err := c.RunMVM(p, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					results = append(results, res)
+				}
+				for i := 0; i < 6; i++ {
+					run(va) // steady state: replays from run 2 on
+				}
+				c.Advance(741) // shift clocks and refresh phase
+				for i := 0; i < 3; i++ {
+					run(va) // re-stabilize, then replay again
+				}
+				run(vb) // memo miss: full walk
+				for i := 0; i < 3; i++ {
+					run(va) // the original input's record re-arms
+				}
+				return results, c.Now(), c.Stats(), c
+			}
+			ev := tc.opts
+			ev.Parallel = ParallelOff
+			eres, enow, estats, ec := drive(ev)
+			ores, onow, ostats, _ := drive(oracleOf(ev))
+			for i := range ores {
+				assertResultsIdentical(t, ores[i], eres[i], tc.name)
+			}
+			if enow != onow {
+				t.Errorf("final clock %d event, %d oracle", enow, onow)
+			}
+			if estats != ostats {
+				t.Errorf("cumulative stats differ:\nevent:  %+v\noracle: %+v", estats, ostats)
+			}
+			if tc.opts.ComplexCommands {
+				var replays int64
+				for _, x := range ec.events {
+					if x != nil {
+						replays += x.replayRuns
+					}
+				}
+				if replays == 0 {
+					t.Errorf("no whole-run replays engaged across %d identical runs", len(eres))
+				}
+			}
+		})
+	}
+}
+
+// TestEventCoreMemoInvalidation rewrites one bank's matrix cells between
+// two byte-identical runs; the bank-version key must force a recompute
+// so the event core tracks the oracle's changed output.
+func TestEventCoreMemoInvalidation(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(64, 384, 31)
+	v := randomVector(m.Cols, 32)
+	drive := func(opts Options) (first, second *Result) {
+		c, err := NewController(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.Place(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first, err = c.RunMVM(p, v); err != nil {
+			t.Fatal(err)
+		}
+		// Flip the sign bit of every cell in one loaded row of bank 0.
+		bank := c.Engine(0).Channel().Bank(0)
+		if err := bank.MutateRow(p.BaseRow(), func(data []byte) {
+			for i := 1; i < len(data); i += 2 {
+				data[i] ^= 0x80
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if second, err = c.RunMVM(p, v); err != nil {
+			t.Fatal(err)
+		}
+		return first, second
+	}
+	opts := Newton()
+	opts.Parallel = ParallelOff
+	e1, e2 := drive(opts)
+	o1, o2 := drive(oracleOf(opts))
+	assertResultsIdentical(t, o1, e1, "before-mutate")
+	assertResultsIdentical(t, o2, e2, "after-mutate")
+	if reflect.DeepEqual(e1.Output, e2.Output) {
+		t.Fatalf("outputs agree across the row rewrite — stale memo replayed")
+	}
+}
+
+// TestEventCoreParallelMatchesSerial re-proves the channel-sharding
+// identity on the event core: a parallel event-mode run is byte-
+// identical to the serial event-mode run (and, transitively through
+// TestEventCoreMatchesOracle, to the oracle).
+func TestEventCoreParallelMatchesSerial(t *testing.T) {
+	cfg := parallelCfg(4)
+	m := layout.RandomMatrix(96, 600, 7)
+	serial, parallel := runBoth(t, cfg, Newton(), m)
+	assertResultsIdentical(t, serial, parallel, "event-parallel")
+}
+
+// TestEventCoreObsExpositionMatchesOracle compares the full Prometheus
+// exposition of an observed run between the two cores. The registry
+// hangs off Result-level publication, not per-command observers, so the
+// event core stays engaged — and its exposition must be byte-identical.
+func TestEventCoreObsExpositionMatchesOracle(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(64, 384, 41)
+	v := randomVector(m.Cols, 42)
+	expo := func(opts Options) string {
+		c, err := NewController(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.New()
+		c.Observe(reg, nil)
+		p, err := c.Place(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := c.RunMVM(p, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	opts := Newton()
+	opts.Parallel = ParallelOff
+	oracle := opts
+	oracle.Oracle = true
+	ee, oe := expo(opts), expo(oracle)
+	if ee == "" || ee != oe {
+		t.Fatalf("expositions differ:\n--- event ---\n%s--- oracle ---\n%s", ee, oe)
+	}
+}
+
+// TestEventModeGating pins when the event core may engage: plain runs
+// yes; Oracle, Verify, a Trace hook, or an attached engine/channel
+// observer force the stepping oracle.
+func TestEventModeGating(t *testing.T) {
+	build := func(opts Options) *Controller {
+		c, err := NewController(testCfg(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if c := build(Newton()); !c.eventMode(0) {
+		t.Error("plain controller: event mode off, want on")
+	}
+	oracle := Newton()
+	oracle.Oracle = true
+	if c := build(oracle); c.eventMode(0) {
+		t.Error("Oracle option: event mode on, want off")
+	}
+	verify := Newton()
+	verify.Verify = true
+	if c := build(verify); c.eventMode(0) {
+		t.Error("Verify option: event mode on, want off")
+	}
+	c := build(Newton())
+	c.Trace = func(ch int, cmd dram.Command, cycle int64, res aim.Result) {}
+	if c.eventMode(0) {
+		t.Error("Trace hook: event mode on, want off")
+	}
+	// Observers gate per channel: the watched channel steps, the rest
+	// keep the event core (the streams are independent).
+	c = build(Newton())
+	c.Engine(1).SetObserver(obsFunc(func(cmd dram.Command, cycle int64) {}))
+	if c.eventMode(1) {
+		t.Error("engine observer on channel 1: event mode on, want off")
+	}
+	if !c.eventMode(0) {
+		t.Error("engine observer on channel 1: channel 0 event mode off, want on")
+	}
+}
+
+// obsFunc adapts a function to dram.Observer for the gating test.
+type obsFunc func(cmd dram.Command, cycle int64)
+
+func (f obsFunc) Observe(cmd dram.Command, cycle int64) { f(cmd, cycle) }
+
+// TestEventCoreRefreshCatchUp drives the closed-form refresh catch-up
+// hard: a long Advance leaves the channel many tREFI behind, and the
+// batched catch-up must land on exactly the oracle's clock, refresh
+// count and stats.
+func TestEventCoreRefreshCatchUp(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(64, 384, 51)
+	v := randomVector(m.Cols, 52)
+	for _, behind := range []int64{1, 3, 100, 1000} {
+		drive := func(opts Options) (*Result, int64, dram.Stats) {
+			c, err := NewController(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := c.Place(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.RunMVM(p, v); err != nil {
+				t.Fatal(err)
+			}
+			c.Advance(behind * cfg.Timing.TREFI)
+			res, err := c.RunMVM(p, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := c.Conformance(); s != nil && len(s.Violations()) > 0 {
+				t.Fatalf("conformance violations: %v", s.Violations()[0])
+			}
+			return res, c.Now(), c.Stats()
+		}
+		opts := Newton()
+		opts.Parallel = ParallelOff
+		eres, enow, estats := drive(opts)
+		ores, onow, ostats := drive(oracleOf(opts))
+		assertResultsIdentical(t, ores, eres, "refresh")
+		if enow != onow || estats != ostats {
+			t.Errorf("behind %d tREFI: clock %d/%d, stats:\nevent:  %+v\noracle: %+v",
+				behind, enow, onow, estats, ostats)
+		}
+		if estats.Refreshes == 0 {
+			t.Fatalf("behind %d tREFI: no refreshes issued — catch-up not exercised", behind)
+		}
+	}
+}
+
+// benchMVM measures repeated serial RunMVMs of a GNMT-s1-shaped product.
+// With vary set, it alternates two inputs so every run misses the memo
+// (the steady-state cold-compute cost); otherwise runs after the first
+// replay the memo (the steady-state warm cost).
+func benchMVM(b *testing.B, opts Options, vary bool) {
+	cfg := dram.Config{Geometry: dram.HBM2EGeometry(32), Timing: dram.AiMTiming()}
+	opts.Parallel = ParallelOff
+	c, err := NewController(cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := layout.RandomMatrix(4096, 1024, 11)
+	p, err := c.Place(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := []bf16.Vector{randomVector(m.Cols, 12), randomVector(m.Cols, 13)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vs[0]
+		if vary {
+			v = vs[i%2]
+		}
+		if _, err := c.RunMVM(p, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMVMEventWarm(b *testing.B) { benchMVM(b, Newton(), false) }
+func BenchmarkMVMEventCold(b *testing.B) { benchMVM(b, Newton(), true) }
+
+// BenchmarkMVMEventWarmSmall is the DLRM-s1 shape (512x256) at the
+// paper's 24-channel config: small enough that per-run fixed costs
+// (mirror sync, memo lookup, output assembly) dominate over replay.
+func BenchmarkMVMEventWarmSmall(b *testing.B) {
+	cfg := dram.Config{Geometry: dram.HBM2EGeometry(24), Timing: dram.AiMTiming()}
+	opts := Newton()
+	opts.Parallel = ParallelOff
+	c, err := NewController(cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := layout.RandomMatrix(512, 256, 11)
+	p, err := c.Place(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := randomVector(m.Cols, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunMVM(p, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+func BenchmarkMVMOracle(b *testing.B) {
+	o := Newton()
+	o.Oracle = true
+	benchMVM(b, o, false)
+}
+
+// TestEventCoreSpecialValues runs a vector salted with every bf16
+// special (NaNs with distinct payloads, infinities, signed zeros,
+// subnormals) so the fused kernel's both-NaN fallback is exercised
+// end-to-end against the oracle's datapath ordering.
+func TestEventCoreSpecialValues(t *testing.T) {
+	cfg := testCfg()
+	m := layout.RandomMatrix(64, 384, 61)
+	// Salt the matrix with specials too, so NaN meets NaN in the lanes.
+	specials := []uint16{0x7FC0, 0x7F81, 0xFFA5, 0x7F80, 0xFF80, 0x8000, 0x0001, 0x8001}
+	for i := range m.Data {
+		if i%17 == 0 {
+			m.Data[i] = bf16.FromBits(specials[(i/17)%len(specials)])
+		}
+	}
+	v := randomVector(m.Cols, 62)
+	for i := range v {
+		if i%5 == 0 {
+			v[i] = bf16.FromBits(specials[(i/5)%len(specials)])
+		}
+	}
+	for _, tc := range eventLadder() {
+		opts := tc.opts
+		opts.Parallel = ParallelOff
+		run := func(o Options) *Result {
+			c, err := NewController(cfg, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := c.Place(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.RunMVM(p, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		eres, ores := run(opts), run(oracleOf(opts))
+		assertResultsIdentical(t, ores, eres, tc.name)
+		nan := false
+		for _, f := range eres.Output {
+			if math.IsNaN(float64(f)) {
+				nan = true
+				break
+			}
+		}
+		if !nan {
+			t.Fatalf("%s: no NaN reached the output — specials did not propagate", tc.name)
+		}
+	}
+}

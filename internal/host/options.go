@@ -64,6 +64,14 @@ type Options struct {
 	// re-derives every constraint from the dram.Config on its own, so it
 	// catches scheduler bugs the channel's own checker would co-sign.
 	Verify bool
+	// Oracle forces the stepping reference engine: every command goes
+	// through the full per-command functional datapath instead of the
+	// event-driven core. The two are byte-identical in outputs, cycles,
+	// stats and obs expositions (the event-core differential tests and
+	// FuzzEventCore enforce it); the oracle exists as the differential
+	// baseline and engages automatically whenever a per-command stream
+	// consumer is attached (Trace, Verify, engine observers).
+	Oracle bool
 	// Parallel controls how many channels RunMVM simulates concurrently.
 	// It is purely a simulator-speed knob: channels share no simulator
 	// state (paper §III — per-channel engines, clocks, refresh deadlines

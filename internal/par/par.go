@@ -31,12 +31,7 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = Effective(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
@@ -68,6 +63,25 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// Effective resolves a requested worker count to the pool size
+// ForEachErr will actually use for n items: GOMAXPROCS-bounded and never
+// wider than the item count. Callers that report parallel speedups use
+// it to tell a genuine fan-out from the degenerate one-worker case
+// (single-CPU boxes, single-item sweeps), where ForEachErr runs the
+// inline serial loop and the only honest speedup is 1.0.
+func Effective(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // ForEach is ForEachErr for item functions that cannot fail.

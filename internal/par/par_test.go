@@ -116,3 +116,26 @@ func TestForEachDeterministicResults(t *testing.T) {
 		}
 	}
 }
+
+// TestEffective pins the worker-resolution rule perf reports depend on:
+// the GOMAXPROCS bound, the item-count clamp, and the degenerate cases
+// where the pool collapses to the inline serial loop.
+func TestEffective(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, maxp},        // default: GOMAXPROCS
+		{maxp + 7, 100, maxp}, // requests past GOMAXPROCS clamp down
+		{2, 100, min(2, maxp)},
+		{8, 3, min(3, maxp)}, // never wider than the item count
+		{4, 1, 1},            // single item: inline serial
+		{-1, 100, maxp},
+		{3, 0, 0}, // nothing to run
+	}
+	for _, c := range cases {
+		if got := Effective(c.workers, c.n); got != c.want {
+			t.Errorf("Effective(%d, %d) = %d, want %d (GOMAXPROCS %d)", c.workers, c.n, got, c.want, maxp)
+		}
+	}
+}

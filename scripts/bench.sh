@@ -2,21 +2,27 @@
 # bench.sh - the simulator's wall-clock performance gate:
 #   1. benchmark smoke: compile and run every Benchmark* once, so a
 #      broken or pathologically slow benchmark fails loudly;
-#   2. newton-bench -perf: measure serial-vs-parallel throughput
-#      (ns/op, allocs/op, simulated cycles per wall-second, speedup,
-#      bit-identity, conformance verdict) into BENCH_PR7.json;
+#   2. newton-bench -perf: measure serial-vs-parallel and event-vs-
+#      oracle throughput (ns/op, allocs/op, simulated cycles per
+#      wall-second, speedups, bit-identity, conformance verdict) into
+#      BENCH_PR9.json;
 #   3. newton-bench -checkperf: validate the written report against the
-#      newton-bench-perf/v4 schema.
+#      newton-bench-perf/v5 schema (hard sim-cycles/wall-second floors,
+#      speedup >= 1.0, oracle byte-identity), gated against the PR7
+#      stepping-core baseline when it is present (>10% serial
+#      throughput drop fails).
 #
 # Environment knobs:
-#   BENCH_OUT      report path            (default BENCH_PR7.json)
+#   BENCH_OUT      report path            (default BENCH_PR9.json)
+#   BENCH_BASELINE baseline report        (default BENCH_PR7.json if present)
 #   BENCH_CHANNELS perf-mode channels     (default 24, the paper config)
 #   BENCH_SMOKE=0  skip step 1 (perf report only)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR9.json}"
 CHANNELS="${BENCH_CHANNELS:-24}"
+BASELINE="${BENCH_BASELINE:-BENCH_PR7.json}"
 
 if [ "${BENCH_SMOKE:-1}" != "0" ]; then
   echo "== benchmark smoke: go test -run=NONE -bench=. -benchtime=1x"
@@ -26,6 +32,11 @@ fi
 echo "== perf report: newton-bench -channels $CHANNELS -perf $OUT"
 go run ./cmd/newton-bench -channels "$CHANNELS" -perf "$OUT"
 
-echo "== schema check: newton-bench -checkperf $OUT"
-go run ./cmd/newton-bench -checkperf "$OUT"
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
+  echo "== schema + baseline check: newton-bench -checkperf $OUT -baseline $BASELINE"
+  go run ./cmd/newton-bench -checkperf "$OUT" -baseline "$BASELINE"
+else
+  echo "== schema check: newton-bench -checkperf $OUT"
+  go run ./cmd/newton-bench -checkperf "$OUT"
+fi
 echo "ok"
