@@ -20,9 +20,10 @@ test:
 
 # Wall-clock performance gate: benchmark smoke over every Benchmark*
 # (including BenchmarkCluster's fleet study), then a serial-vs-parallel
-# perf report written to BENCH_PR9.json, schema-checked with the
-# event-core throughput floors, and regression-gated against the PR7
-# stepping-core baseline (see scripts/bench.sh for the knobs).
+# perf report written to BENCH_PR10.json, schema-checked with the
+# event-core throughput floors and the QoS coexistence policy ordering,
+# and regression-gated against the PR9 baseline (see scripts/bench.sh
+# for the knobs).
 bench:
 	./scripts/bench.sh
 

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|serving|cluster|fault|all] [-channels N] [-banks N] [-functional]
+//	newton-bench [-fig 8|9|10|11|12|13|model|noreuse|serving|cluster|fault|coexist|all] [-channels N] [-banks N] [-functional]
 //
 // With -json DIR, runners that have a machine-readable form (serving, cluster,
-// fault) also write BENCH_<name>.json files into DIR, so the
+// fault, coexist) also write BENCH_<name>.json files into DIR, so the
 // perf/reliability trajectory can be tracked across changes.
 //
 // Simulator wall-clock performance has its own mode: -perf FILE measures
@@ -46,13 +46,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("newton-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, e2e, model, noreuse, families, multitenant, channels, serving, cluster, fault, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 8e2e, 9, 10, 11, 12, 13, e2e, model, noreuse, families, multitenant, channels, serving, cluster, fault, coexist, or all")
 	channels := flag.Int("channels", 24, "memory channels")
 	banks := flag.Int("banks", 16, "banks per channel")
 	functional := flag.Bool("functional", false, "validate data paths inside the ideal baseline (slower)")
 	verify := flag.Bool("verify", false, "run every simulation under the independent conformance checker; any timing or protocol violation aborts")
 	format := flag.String("format", "table", "output format: table or csv (csv available for figs 8, 9, 10, 11, 12, 13)")
-	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, cluster, fault)")
+	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files into this directory (serving, cluster, fault, coexist)")
 	serial := flag.Bool("serial", false, "force the serial reference path: channels simulate one at a time and sweeps run their design points sequentially (results are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -341,6 +341,20 @@ func main() {
 			return nil
 		}
 		fmt.Println(experiments.RenderFault(points, sum))
+		return nil
+	})
+	run("coexist", func() error {
+		points, err := cfg.Coexistence()
+		if err != nil {
+			return err
+		}
+		if err := writeJSON("coexist", struct {
+			Points      []experiments.CoexistPoint
+			Intensities []float64
+		}{points, experiments.CoexistIntensities}); err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCoexistence(points))
 		return nil
 	})
 	run("families", func() error {

@@ -39,8 +39,13 @@ import (
 // whole-model on-device serving (one ISR program per inference) against
 // the per-layer host loop, with per-model speedups, the numeric
 // envelope, a device-rerun byte-identity verdict, and the wall cost of
-// one on-device inference.
-const PerfSchema = "newton-bench-perf/v5"
+// one on-device inference. v6 adds the coexistence section: the QoS
+// interference sweep's per-policy host bandwidth and PIM p99 at the top
+// offered load, with an event-vs-oracle byte-identity verdict, gated so
+// the policy ordering (pim-priority starves the host and keeps the
+// flattest tail, mem-priority buys the most bandwidth, fair-slice sits
+// between) cannot silently invert.
+const PerfSchema = "newton-bench-perf/v6"
 
 // simThroughputFloors are the v5 regression floors on each MVM entry's
 // serial sim-cycles/wall-second: 10x the BENCH_PR7.json stepping-core
@@ -167,6 +172,29 @@ type E2EPerf struct {
 	Identical bool `json:"byte_identical"`
 }
 
+// CoexistPolicyPerf is one QoS policy's cell of the coexistence
+// section, measured at the sweep's top offered load.
+type CoexistPolicyPerf struct {
+	Policy string `json:"policy"`
+	// HostGBs is the conventional bandwidth serviced while MVMs were in
+	// flight (GB/s); PIMP99 the MVM duration's 99th percentile in cycles.
+	HostGBs float64 `json:"host_gb_per_s"`
+	PIMP99  int64   `json:"pim_p99_cycles"`
+}
+
+// CoexistPerf is the v6 coexistence section: the interference sweep's
+// policy cells at its top offered load, plus a determinism verdict.
+type CoexistPerf struct {
+	// Intensity is the offered load the cells were measured at, in
+	// requests per microsecond per channel.
+	Intensity float64             `json:"intensity_req_per_us"`
+	Policies  []CoexistPolicyPerf `json:"policies"`
+	// Identical records that rerunning the same sweep on the stepping
+	// oracle (serial) reproduced every point of the event-core (parallel)
+	// sweep exactly — mixed PIM/conventional schedules included.
+	Identical bool `json:"byte_identical"`
+}
+
 // PerfReport is the BENCH_PR7.json payload: the simulator's wall-clock
 // performance trajectory, measured from one code path.
 type PerfReport struct {
@@ -194,6 +222,8 @@ type PerfReport struct {
 	Fleet *FleetPerf `json:"fleet"`
 	// E2E is the whole-model serving measurement (required since v4).
 	E2E *E2EPerf `json:"e2e"`
+	// Coexist is the QoS interference measurement (required since v6).
+	Coexist *CoexistPerf `json:"coexist"`
 }
 
 // perfWorkloads are the MVM benchmarks: the largest Table II layer
@@ -694,6 +724,48 @@ func perfE2E(channels, banks int, seed int64) (*E2EPerf, error) {
 	return ep, nil
 }
 
+// perfCoexist measures the v6 coexistence section: the QoS interference
+// sweep on the small DLRM layer at the report's channel configuration,
+// rerun on the stepping oracle for the determinism verdict.
+func perfCoexist(channels, banks int, seed int64) (*CoexistPerf, error) {
+	bench, ok := workloads.ByName("DLRM-s1")
+	if !ok {
+		return nil, fmt.Errorf("DLRM-s1 missing from Table II")
+	}
+	cfg := experiments.Default()
+	cfg.Channels = channels
+	cfg.Banks = banks
+	cfg.Seed = seed
+	cfg.Benchmarks = []workloads.Bench{bench}
+	cfg.ServingN = 8 // shortens the per-point MVM sample count
+	pts, err := cfg.Coexistence()
+	if err != nil {
+		return nil, err
+	}
+	oracleCfg := cfg
+	oracleCfg.Oracle = true
+	oracleCfg.Serial = true
+	opts, err := oracleCfg.Coexistence()
+	if err != nil {
+		return nil, err
+	}
+	top := experiments.CoexistIntensities[len(experiments.CoexistIntensities)-1]
+	cp := &CoexistPerf{
+		Intensity: top,
+		Identical: reflect.DeepEqual(pts, opts),
+	}
+	for _, p := range pts {
+		if p.Intensity == top {
+			cp.Policies = append(cp.Policies, CoexistPolicyPerf{
+				Policy:  p.Policy,
+				HostGBs: p.HostGBs,
+				PIMP99:  p.PIMP99,
+			})
+		}
+	}
+	return cp, nil
+}
+
 // runPerf measures the report and writes it to path.
 func runPerf(channels, banks int, seed int64, path string) error {
 	rep := PerfReport{
@@ -732,6 +804,10 @@ func runPerf(channels, banks int, seed int64, path string) error {
 	if rep.E2E, err = perfE2E(channels, banks, seed); err != nil {
 		return fmt.Errorf("perf e2e: %w", err)
 	}
+	fmt.Fprintf(os.Stderr, "perf: measuring coexist...\n")
+	if rep.Coexist, err = perfCoexist(channels, banks, seed); err != nil {
+		return fmt.Errorf("perf coexist: %w", err)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -763,6 +839,13 @@ func runPerf(channels, banks int, seed int64, path string) error {
 	if e := rep.E2E; e != nil {
 		fmt.Printf("e2e          %d models  geomean on-device speedup %.2fx  %d ns/inference (DLRM)  identical=%v\n",
 			len(e.Models), e.GeomeanSpeedup, e.NsPerInference, e.Identical)
+	}
+	if cx := rep.Coexist; cx != nil {
+		fmt.Printf("coexist      @%g req/us:", cx.Intensity)
+		for _, p := range cx.Policies {
+			fmt.Printf("  %s %.3f GB/s p99=%d", p.Policy, p.HostGBs, p.PIMP99)
+		}
+		fmt.Printf("  identical=%v\n", cx.Identical)
 	}
 	fmt.Printf("conformance: %d commands checked, %d violations (gomaxprocs=%d, cpus=%d)\n",
 		rep.VerifyCommands, rep.VerifyViolations, rep.GOMAXPROCS, rep.CPUs)
@@ -893,12 +976,39 @@ func checkPerf(path, baselinePath string) error {
 	if !e.Identical {
 		return fmt.Errorf("%s: e2e failed the device-rerun byte-identity check", path)
 	}
+	cx := rep.Coexist
+	if cx == nil {
+		return fmt.Errorf("%s: missing coexist section (required since %s)", path, PerfSchema)
+	}
+	if len(cx.Policies) < 3 {
+		return fmt.Errorf("%s: coexist covers %d policies, want all 3", path, len(cx.Policies))
+	}
+	cells := make(map[string]CoexistPolicyPerf, len(cx.Policies))
+	for _, p := range cx.Policies {
+		cells[p.Policy] = p
+	}
+	pim, fair, memp := cells["pim-priority"], cells["fair-slice"], cells["mem-priority"]
+	if pim.Policy == "" || fair.Policy == "" || memp.Policy == "" {
+		return fmt.Errorf("%s: coexist section is missing a policy cell (%v)", path, cx.Policies)
+	}
+	if pim.HostGBs != 0 {
+		return fmt.Errorf("%s: coexist pim-priority served %.3f GB/s during runs; the policy must starve the host", path, pim.HostGBs)
+	}
+	if !(memp.HostGBs > fair.HostGBs && fair.HostGBs > 0) {
+		return fmt.Errorf("%s: coexist host bandwidth ordering inverted: mem %.3f, fair %.3f GB/s", path, memp.HostGBs, fair.HostGBs)
+	}
+	if !(pim.PIMP99 <= fair.PIMP99 && fair.PIMP99 <= memp.PIMP99 && pim.PIMP99 < memp.PIMP99) {
+		return fmt.Errorf("%s: coexist PIM p99 ordering inverted: pim %d, fair %d, mem %d", path, pim.PIMP99, fair.PIMP99, memp.PIMP99)
+	}
+	if !cx.Identical {
+		return fmt.Errorf("%s: coexist failed the event-vs-oracle byte-identity check", path)
+	}
 	if baselinePath != "" {
 		if err := checkPerfBaseline(&rep, path, baselinePath); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("%s: valid %s report, %d benchmarks + fleet + e2e, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
+	fmt.Printf("%s: valid %s report, %d benchmarks + fleet + e2e + coexist, 0 violations\n", path, PerfSchema, len(rep.Benchmarks))
 	return nil
 }
 

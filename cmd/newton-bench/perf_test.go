@@ -13,23 +13,23 @@ import (
 
 // TestCheckPerfCommittedReport validates the checked-in trajectory the
 // same way CI does, including the throughput-regression gate against
-// the PR7 stepping-core baseline.
+// the PR9 baseline.
 func TestCheckPerfCommittedReport(t *testing.T) {
-	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"), ""); err != nil {
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR10.json"), ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"),
-		filepath.Join("..", "..", "BENCH_PR7.json")); err != nil {
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR10.json"),
+		filepath.Join("..", "..", "BENCH_PR9.json")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // mutateReport loads the committed report, applies f, writes the
 // result to a temp file and returns checkPerf's error on it (gated
-// against the PR7 baseline when baseline is set).
+// against the PR9 baseline when baseline is set).
 func mutateReport(t *testing.T, baseline bool, f func(*PerfReport)) error {
 	t.Helper()
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR10.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,9 +48,19 @@ func mutateReport(t *testing.T, baseline bool, f func(*PerfReport)) error {
 	}
 	var basePath string
 	if baseline {
-		basePath = filepath.Join("..", "..", "BENCH_PR7.json")
+		basePath = filepath.Join("..", "..", "BENCH_PR9.json")
 	}
 	return checkPerf(path, basePath)
+}
+
+// coexistCellIdx finds a policy's cell in the report's coexist section.
+func coexistCellIdx(r *PerfReport, policy string) int {
+	for i, p := range r.Coexist.Policies {
+		if p.Policy == policy {
+			return i
+		}
+	}
+	return -1
 }
 
 // TestCheckPerfCatches breaks the committed report one field at a time;
@@ -89,6 +99,20 @@ func TestCheckPerfCatches(t *testing.T) {
 		}, "exact"},
 		{"e2e identity", func(r *PerfReport) { r.E2E.Identical = false }, "identity"},
 		{"e2e degenerate", func(r *PerfReport) { r.E2E.Models[0].Instrs = 0 }, "degenerate"},
+		{"missing coexist", func(r *PerfReport) { r.Coexist = nil }, "coexist"},
+		{"coexist too few policies", func(r *PerfReport) { r.Coexist.Policies = r.Coexist.Policies[:2] }, "policies"},
+		{"coexist pim leak", func(r *PerfReport) {
+			r.Coexist.Policies[coexistCellIdx(r, "pim-priority")].HostGBs = 1
+		}, "starve"},
+		{"coexist bandwidth inversion", func(r *PerfReport) {
+			m := r.Coexist.Policies[coexistCellIdx(r, "mem-priority")]
+			r.Coexist.Policies[coexistCellIdx(r, "fair-slice")].HostGBs = m.HostGBs + 1
+		}, "ordering"},
+		{"coexist p99 inversion", func(r *PerfReport) {
+			m := r.Coexist.Policies[coexistCellIdx(r, "mem-priority")]
+			r.Coexist.Policies[coexistCellIdx(r, "pim-priority")].PIMP99 = m.PIMP99 + 1
+		}, "ordering"},
+		{"coexist identity", func(r *PerfReport) { r.Coexist.Identical = false }, "identity"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,28 +128,44 @@ func TestCheckPerfCatches(t *testing.T) {
 }
 
 // TestCheckPerfBaselineGate exercises the cross-report throughput gate:
-// a >10% serial-throughput drop against the committed PR7 baseline must
+// a >10% serial-throughput drop against the committed PR9 baseline must
 // fail, and a report that merely holds its numbers must pass.
 func TestCheckPerfBaselineGate(t *testing.T) {
 	if err := mutateReport(t, true, func(r *PerfReport) {}); err != nil {
 		t.Fatalf("unmutated report failed the baseline gate: %v", err)
 	}
-	err := mutateReport(t, true, func(r *PerfReport) {
-		// 85% of the PR7 baseline: above the absolute v5 floor would be
-		// impossible (the floor is 10x the baseline), so drop the floor's
-		// entry from the map's reach by renaming, then regress throughput.
+	baseData, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseRep PerfReport
+	if err := json.Unmarshal(baseData, &baseRep); err != nil {
+		t.Fatal(err)
+	}
+	anchor := 0.0
+	for _, b := range baseRep.Benchmarks {
+		if b.Name == "GNMT-s1" {
+			anchor = b.Serial.SimCyclesPerSec
+		}
+	}
+	if anchor <= 0 {
+		t.Fatal("PR9 baseline has no GNMT-s1 anchor")
+	}
+	err = mutateReport(t, true, func(r *PerfReport) {
+		// 95% of the PR9 anchor: inside the 10% allowance and (the anchor
+		// being roughly double the absolute floor) above the v5 floor too.
 		r.Benchmarks[0].Name = "GNMT-s1"
-		r.Benchmarks[0].Serial.SimCyclesPerSec = simThroughputFloors["GNMT-s1"] * 1.05
+		r.Benchmarks[0].Serial.SimCyclesPerSec = anchor * 0.95
 	})
 	if err != nil {
-		t.Fatalf("5%% above the floor should still clear the PR7 baseline: %v", err)
+		t.Fatalf("a 5%% drop should still clear the PR9 baseline: %v", err)
 	}
 	base := filepath.Join(t.TempDir(), "base.json")
 	high := `{"benchmarks":[{"name":"GNMT-s1","serial":{"sim_cycles_per_wall_second":1e9}}]}`
 	if err := os.WriteFile(base, []byte(high), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR10.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +191,7 @@ func TestCheckPerfMissingFile(t *testing.T) {
 	if err := checkPerf(bad, ""); err == nil {
 		t.Fatal("malformed JSON passed validation")
 	}
-	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR9.json"),
+	if err := checkPerf(filepath.Join("..", "..", "BENCH_PR10.json"),
 		filepath.Join(t.TempDir(), "nobase.json")); err == nil {
 		t.Fatal("missing baseline passed validation")
 	}

@@ -1,0 +1,201 @@
+// Command newton-mem runs a host-traffic coexistence session: a Newton
+// system executing matrix-vector products while a seeded conventional
+// workload shares the same DRAM channels under a selectable QoS policy,
+// reporting both sides of the trade — host bandwidth and latency
+// percentiles versus PIM run times and stall cycles.
+//
+// Usage:
+//
+//	newton-mem [-policy pim-priority|mem-priority|fair-slice] \
+//	           [-intensity REQ_PER_US] [-readfrac F] \
+//	           [-locality hit-streak|stride|uniform] [-runs N] \
+//	           [-workload NAME | -rows R -cols C] [-channels N] [-banks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"newton"
+	"newton/internal/workloads"
+)
+
+// options is the fully parsed CLI surface, separable from flag
+// handling so a session is drivable from tests.
+type options struct {
+	policy    string
+	intensity float64
+	readFrac  float64
+	locality  string
+	streak    int
+	stride    int
+	footRows  int
+	seed      int64
+	epoch     int64
+	share     float64
+	workload  string
+	rows      int
+	cols      int
+	channels  int
+	banks     int
+	runs      int
+	drain     bool
+}
+
+// parsePolicy maps the -policy flag to the façade enum.
+func parsePolicy(s string) (newton.TrafficPolicy, error) {
+	switch s {
+	case "pim-priority":
+		return newton.PolicyPIMPriority, nil
+	case "mem-priority":
+		return newton.PolicyMemPriority, nil
+	case "fair-slice":
+		return newton.PolicyFairSlice, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want pim-priority, mem-priority or fair-slice)", s)
+}
+
+// parseLocality maps the -locality flag to the façade enum.
+func parseLocality(s string) (newton.TrafficLocality, error) {
+	switch s {
+	case "hit-streak":
+		return newton.TrafficHitStreak, nil
+	case "stride":
+		return newton.TrafficStride, nil
+	case "uniform":
+		return newton.TrafficUniform, nil
+	}
+	return 0, fmt.Errorf("unknown locality %q (want hit-streak, stride or uniform)", s)
+}
+
+// resolveShape picks the matrix shape: explicit -rows/-cols win,
+// otherwise the named Table II layer.
+func resolveShape(workload string, rows, cols int) (r, c int, err error) {
+	if rows != 0 && cols != 0 {
+		return rows, cols, nil
+	}
+	b, ok := workloads.ByName(workload)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown workload %q", workload)
+	}
+	return b.Rows, b.Cols, nil
+}
+
+// buildConfig lowers the parsed options to a façade Config.
+func buildConfig(o options) (newton.Config, error) {
+	pol, err := parsePolicy(o.policy)
+	if err != nil {
+		return newton.Config{}, err
+	}
+	loc, err := parseLocality(o.locality)
+	if err != nil {
+		return newton.Config{}, err
+	}
+	cfg := newton.DefaultConfig()
+	cfg.Channels = o.channels
+	cfg.Banks = o.banks
+	cfg.Coexist = &newton.CoexistConfig{
+		Traffic: newton.TrafficConfig{
+			IntensityReqPerUs: o.intensity,
+			ReadFraction:      o.readFrac,
+			Locality:          loc,
+			HitStreak:         o.streak,
+			Stride:            o.stride,
+			Rows:              o.footRows,
+			Seed:              o.seed,
+		},
+		Policy:      pol,
+		EpochCycles: o.epoch,
+		HostShare:   o.share,
+	}
+	return cfg, nil
+}
+
+// session runs the coexistence workload and writes the report to w.
+func session(o options, w io.Writer) error {
+	r, c, err := resolveShape(o.workload, o.rows, o.cols)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return err
+	}
+	sys, err := newton.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	pm, err := sys.Load(newton.RandomMatrix(r, c, o.seed))
+	if err != nil {
+		return err
+	}
+	in := make([]float32, c)
+	for i := range in {
+		in[i] = float32(i%17)/17 - 0.5
+	}
+
+	fmt.Fprintf(w, "coexistence: %dx%d matrix on %d ch x %d banks, %s, %g req/us %s traffic\n\n",
+		r, c, o.channels, o.banks, o.policy, o.intensity, o.locality)
+	var busy int64
+	for i := 0; i < o.runs; i++ {
+		_, st, err := sys.MatVec(pm, in)
+		if err != nil {
+			return err
+		}
+		busy += st.Cycles
+		fmt.Fprintf(w, "run %2d: %8d cycles (%v)\n", i, st.Cycles, st.Duration())
+		if o.drain {
+			if err := sys.DrainTraffic(); err != nil {
+				return err
+			}
+		}
+	}
+
+	ts := sys.TrafficStats()
+	fmt.Fprintf(w, "\nconventional traffic:\n")
+	fmt.Fprintf(w, "  served     %d requests (%d reads, %d writes), %d bytes\n",
+		ts.Requests, ts.Reads, ts.Writes, ts.Bytes)
+	fmt.Fprintf(w, "  in-run     %d bytes", ts.InRunBytes)
+	if busy > 0 {
+		fmt.Fprintf(w, " (%.3f GB/s while PIM was busy)", float64(ts.InRunBytes)/float64(busy))
+	}
+	fmt.Fprintf(w, "\n  drained    %d bytes between runs\n", ts.BetweenBytes)
+	fmt.Fprintf(w, "  latency    p50 %d  p95 %d  p99 %d  max %d cycles (mean %.1f)\n",
+		ts.P50, ts.P95, ts.P99, ts.Max, ts.MeanLatency)
+	fmt.Fprintf(w, "  pim stall  %d cycles charged to in-run service\n", ts.StallCycles)
+	if sys.TrafficPending() {
+		fmt.Fprintf(w, "  backlog    requests still queued at cycle %d\n", sys.Now())
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("newton-mem: ")
+	var o options
+	flag.StringVar(&o.policy, "policy", "pim-priority", "QoS policy: pim-priority, mem-priority or fair-slice")
+	flag.Float64Var(&o.intensity, "intensity", 8, "offered load per channel, requests/us")
+	flag.Float64Var(&o.readFrac, "readfrac", 0.7, "fraction of requests that are reads, in [0, 1]")
+	flag.StringVar(&o.locality, "locality", "hit-streak", "address stream locality: hit-streak, stride or uniform")
+	flag.IntVar(&o.streak, "streak", 0, "hit-streak burst length (0 = default 8)")
+	flag.IntVar(&o.stride, "stride", 0, "stride column step (0 = default 1)")
+	flag.IntVar(&o.footRows, "footprint", 0, "conventional footprint in rows per bank (0 = default 32)")
+	flag.Int64Var(&o.seed, "seed", 1, "traffic stream seed")
+	flag.Int64Var(&o.epoch, "epoch", 0, "fair-slice epoch in cycles (0 = default 8192)")
+	flag.Float64Var(&o.share, "share", 0, "fair-slice host share in (0, 1] (0 = default 0.5)")
+	flag.StringVar(&o.workload, "workload", "DLRM-s1", "Table II layer name for the PIM side")
+	flag.IntVar(&o.rows, "rows", 0, "matrix rows (overrides -workload with -cols)")
+	flag.IntVar(&o.cols, "cols", 0, "matrix cols")
+	flag.IntVar(&o.channels, "channels", 24, "memory channels")
+	flag.IntVar(&o.banks, "banks", 16, "banks per channel")
+	flag.IntVar(&o.runs, "runs", 8, "matrix-vector products to run")
+	flag.BoolVar(&o.drain, "drain", true, "serve the accumulated backlog between runs")
+	flag.Parse()
+
+	if err := session(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

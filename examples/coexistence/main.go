@@ -1,9 +1,12 @@
 // Coexistence: the operational side of AiM the paper describes around
-// its headline results. One device simultaneously holds a weight matrix
-// (AiM data) and ordinary application data in the same banks - never the
-// same DRAM row (§III-A) - while a second model owns its own channel
-// partition (§III-D), and the matrix is periodically scrubbed against
-// transient errors by re-loading it from the host's copy (§III-E).
+// its headline results. Newton rides a standard DRAM interface (§II),
+// so the same channels that execute matrix-vector products keep serving
+// the host's ordinary reads and writes. This example runs one weight
+// matrix under a live conventional workload three times — once per QoS
+// policy — and shows the trade a deployment tunes: host bandwidth and
+// latency against PIM run-time interference. It closes with the §III-A
+// same-row restriction made concrete (matrices and byte data in the
+// same banks, never the same row) and the §III-E scrub.
 package main
 
 import (
@@ -14,86 +17,110 @@ import (
 	"newton"
 )
 
+// session runs four products under the given policy with 8 req/us of
+// mixed conventional traffic sharing the channels, draining the backlog
+// between runs, and reports both sides of the trade.
+func session(policy newton.TrafficPolicy) (newton.TrafficStats, int64) {
+	cfg := newton.DefaultConfig()
+	cfg.Channels = 4
+	cfg.Coexist = &newton.CoexistConfig{
+		Traffic: newton.TrafficConfig{
+			IntensityReqPerUs: 8,
+			ReadFraction:      0.7,
+			Locality:          newton.TrafficHitStreak,
+			Seed:              42,
+		},
+		Policy: policy,
+		// FairSlice: the host may spend 10% of each 8192-cycle epoch.
+		EpochCycles: 8192,
+		HostShare:   0.10,
+	}
+	sys, err := newton.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := sys.Load(newton.RandomMatrix(512, 256, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := make([]float32, 256)
+	for i := range in {
+		in[i] = float32(i%9)/9 - 0.4
+	}
+	var busy int64
+	for run := 0; run < 4; run++ {
+		_, st, err := sys.MatVec(pm, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		busy += st.Cycles
+		if err := sys.DrainTraffic(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return sys.TrafficStats(), busy
+}
+
 func main() {
 	log.SetFlags(0)
 
-	// Partition the 24-channel device: 4 channels for a latency-critical
-	// recommendation model, 20 for a translation model.
-	parts, err := newton.DefaultConfig().Split(4, 20)
-	if err != nil {
-		log.Fatal(err)
-	}
-	small, err := newton.NewSystem(parts[0])
-	if err != nil {
-		log.Fatal(err)
-	}
-	big, err := newton.NewSystem(parts[1])
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	dlrm := newton.RandomMatrix(512, 256, 1)
-	gnmt := newton.RandomMatrix(4096, 1024, 2)
-	dlrmP, err := small.Load(dlrm)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gnmtP, err := big.Load(gnmt)
-	if err != nil {
-		log.Fatal(err)
+	// The QoS trade, one policy at a time over the identical workload:
+	// pim-priority starves the host while products run (zero stall),
+	// mem-priority buys the most host bandwidth at the highest PIM cost,
+	// fair-slice meters the host to a budgeted share of each epoch.
+	fmt.Println("QoS on shared channels (same matrix, same 8 req/us traffic):")
+	for _, policy := range []newton.TrafficPolicy{
+		newton.PolicyPIMPriority, newton.PolicyMemPriority, newton.PolicyFairSlice,
+	} {
+		st, busy := session(policy)
+		gbs := 0.0
+		if busy > 0 {
+			gbs = float64(st.InRunBytes) / float64(busy)
+		}
+		fmt.Printf("  %-12s  %6.3f GB/s to the host during runs, host p99 %5d cyc, PIM busy %d cyc (+%d stall)\n",
+			policy, gbs, st.P99, busy, st.StallCycles)
 	}
 
-	in256 := make([]float32, 256)
-	in1024 := make([]float32, 1024)
-	for i := range in1024 {
-		in1024[i] = float32(i%9)/9 - 0.4
-	}
-	copy(in256, in1024[:256])
-
-	// Both partitions run concurrently: the device-level finish time is
-	// the max of the two clocks, and the small model's latency is
-	// isolated from the big one's occupancy.
-	_, dst, err := small.MatVec(dlrmP, in256)
+	// The same banks also hold ordinary byte data — disjoint DRAM rows
+	// (§III-A), accessed with plain ACT/RD/WR streams in simulated time.
+	sys, err := newton.NewSystem(newton.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, gst, err := big.MatVec(gnmtP, in1024)
+	gnmtP, err := sys.Load(newton.RandomMatrix(4096, 1024, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("partitioned device: DLRM %v on 4 ch || GNMT %v on 20 ch\n",
-		dst.Duration(), gst.Duration())
-	fmt.Printf("device busy for max(%v, %v) = %v, DLRM latency isolated\n",
-		dst.Duration(), gst.Duration(), maxDur(dst, gst))
-
-	// The big partition also holds ordinary data: same banks as the
-	// matrix, disjoint DRAM rows, accessed with plain ACT/RD/WR streams.
-	region, err := big.AllocBytes(1 << 20)
+	region, err := sys.AllocBytes(1 << 20)
 	if err != nil {
 		log.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("newton"), 4096)
-	if err := big.WriteBytes(region, 4096, payload); err != nil {
+	if err := sys.WriteBytes(region, 4096, payload); err != nil {
 		log.Fatal(err)
 	}
-	back, err := big.ReadBytes(region, 4096, len(payload))
+	back, err := sys.ReadBytes(region, 4096, len(payload))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("conventional data:  1 MiB region, %d B round-trip intact: %v\n",
 		len(payload), bytes.Equal(back, payload))
 
-	// Matrix results are unaffected by the interleaved traffic...
-	out1, _, err := big.MatVec(gnmtP, in1024)
+	// Matrix results are unaffected by the interleaved byte traffic...
+	in1024 := make([]float32, 1024)
+	for i := range in1024 {
+		in1024[i] = float32(i%9)/9 - 0.4
+	}
+	out1, _, err := sys.MatVec(gnmtP, in1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// ...and the periodic ECC scrub (paper: ~once per 1000 inputs)
 	// re-loads the matrix, discarding any accumulated transient errors.
-	if err := big.Scrub(gnmtP); err != nil {
+	if err := sys.Scrub(gnmtP); err != nil {
 		log.Fatal(err)
 	}
-	out2, _, err := big.MatVec(gnmtP, in1024)
+	out2, _, err := sys.MatVec(gnmtP, in1024)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,11 +132,4 @@ func main() {
 		}
 	}
 	fmt.Printf("post-scrub results identical: %v\n", same)
-}
-
-func maxDur(a, b newton.RunStats) any {
-	if a.Cycles > b.Cycles {
-		return a.Duration()
-	}
-	return b.Duration()
 }

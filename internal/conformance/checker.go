@@ -73,6 +73,16 @@ const (
 	// RuleProtocol: AiM datapath protocol (COMP/BCAST before GWRITE, MAC
 	// without latched operands, out-of-range operands).
 	RuleProtocol Rule = "protocol"
+	// RuleCoexistRow: a DRAM row served both AiM compute and
+	// conventional RD/WR traffic. The paper's §III-A placement
+	// restriction lets the two classes share banks but never a row;
+	// checked only when Options.Coexist is set.
+	RuleCoexistRow Rule = "coexist-row"
+	// RuleCoexistDrain: a conventional RD/WR reached a bank whose MAC
+	// adder tree was still draining — conventional requests must block
+	// behind in-flight AiM macro-operations; checked only when
+	// Options.Coexist is set.
+	RuleCoexistDrain Rule = "coexist-drain"
 )
 
 // Violation is one observed constraint violation.
@@ -101,6 +111,16 @@ type Options struct {
 	// which the host's tile-boundary refresh policy relies on); 0 means
 	// 8. Negative disables the cadence check.
 	RefreshSlack int
+	// Coexist enables the mixed-traffic rules (RuleCoexistRow,
+	// RuleCoexistDrain): the §III-A row-partition invariant and the
+	// macro-op blocking invariant between AiM and conventional streams.
+	// The host controller enables it — via EnableCoexist — when a
+	// conventional workload is attached; it stays off otherwise, since
+	// without a traffic client plain RD/WR are the host's own (weight
+	// loads, ISR scratch) and may legally share rows with compute. The
+	// protocol-equivalence fuzzers also leave it off, since their
+	// generators mix the classes freely.
+	Coexist bool
 }
 
 func (o Options) latches() int {
@@ -167,6 +187,10 @@ type Checker struct {
 	pendingInput  bool
 	pendingFilter []bool
 
+	// rowClass records, per bank, which traffic classes each row has
+	// served (classAiM / classConv bits); nil unless Options.Coexist.
+	rowClass []map[int]uint8
+
 	// refs counts observed REF commands for the cadence rule.
 	refs int64
 
@@ -194,8 +218,35 @@ func New(cfg dram.Config, opt Options) (*Checker, error) {
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
+	if opt.Coexist {
+		c.rowClass = make([]map[int]uint8, cfg.Geometry.Banks)
+		for i := range c.rowClass {
+			c.rowClass[i] = make(map[int]uint8)
+		}
+	}
 	return c, nil
 }
+
+// EnableCoexist turns on the mixed-traffic rules (RuleCoexistRow,
+// RuleCoexistDrain) on a live checker, as if Options.Coexist had been
+// set at construction. Rows touched before the call are unclassified:
+// classification starts from the first command observed afterwards.
+func (c *Checker) EnableCoexist() {
+	if c.rowClass != nil {
+		return
+	}
+	c.opt.Coexist = true
+	c.rowClass = make([]map[int]uint8, c.cfg.Geometry.Banks)
+	for i := range c.rowClass {
+		c.rowClass[i] = make(map[int]uint8)
+	}
+}
+
+// Traffic classes a row may serve under the coexist rules.
+const (
+	classAiM uint8 = 1 << iota
+	classConv
+)
 
 // MustNew is New for configurations known to validate.
 func MustNew(cfg dram.Config, opt Options) *Checker {
@@ -333,6 +384,28 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 			add(RuleProtocol, "global buffer slot %d read before being GWRITTEN", col)
 		}
 	}
+	// checkAiMRow asserts bank i's open row never served the other
+	// traffic class (the §III-A same-row restriction).
+	checkAiMRow := func(i int) {
+		if c.rowClass == nil || i < 0 || i >= len(c.banks) {
+			return
+		}
+		if b := &c.banks[i]; b.active && c.rowClass[i][b.openRow]&classConv != 0 {
+			add(RuleCoexistRow, "AiM compute on bank %d row %d, which served conventional traffic", i, b.openRow)
+		}
+	}
+	checkConvRow := func(i int) {
+		if c.rowClass == nil || i < 0 || i >= len(c.banks) {
+			return
+		}
+		b := &c.banks[i]
+		if cycle < b.readyAt {
+			add(RuleCoexistDrain, "conventional access while bank %d adder tree drains at cycle %d", i, b.readyAt)
+		}
+		if b.active && c.rowClass[i][b.openRow]&classAiM != 0 {
+			add(RuleCoexistRow, "conventional access to bank %d row %d, which served AiM compute", i, b.openRow)
+		}
+	}
 
 	switch timingKind(cmd) {
 	case dram.KindACT:
@@ -386,6 +459,7 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 		checkChanCol()
 		if b := bank(cmd.Bank); b != nil {
 			checkBankCol(b, cmd.Bank)
+			checkConvRow(cmd.Bank)
 		}
 		checkCol(cmd.Col)
 		if cmd.Kind == dram.KindWR && len(cmd.Data) != g.ColBytes() {
@@ -396,6 +470,7 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 		checkChanCol()
 		for i := range c.banks {
 			checkBankCol(&c.banks[i], i)
+			checkAiMRow(i)
 		}
 		checkCol(cmd.Col)
 		if cmd.Kind == dram.KindCOMP { // not a ganged COLRD in COMP clothing
@@ -407,6 +482,7 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 		checkChanCol()
 		if b := bank(cmd.Bank); b != nil {
 			checkBankCol(b, cmd.Bank)
+			checkAiMRow(cmd.Bank)
 		}
 		checkCol(cmd.Col)
 		if cmd.Kind == dram.KindCOMPBank {
@@ -500,6 +576,7 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 		checkChanCol()
 		if b := bank(cmd.Bank); b != nil {
 			checkBankCol(b, cmd.Bank)
+			checkAiMRow(cmd.Bank)
 		}
 		checkCol(cmd.Col)
 		checkCol(cmd.Slot)
@@ -508,6 +585,7 @@ func (c *Checker) Check(cmd dram.Command, cycle int64) []Violation {
 		checkChanCol()
 		if b := bank(cmd.Bank); b != nil {
 			checkBankCol(b, cmd.Bank)
+			checkAiMRow(cmd.Bank)
 		}
 		checkCol(cmd.Col)
 		if checkCol(cmd.Slot) {
@@ -585,6 +663,15 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 		}
 	}
 	inRange := func(i int) bool { return i >= 0 && i < len(c.banks) }
+	// mark tags bank i's open row as having served a traffic class.
+	mark := func(i int, class uint8) {
+		if c.rowClass == nil || !inRange(i) {
+			return
+		}
+		if b := &c.banks[i]; b.active {
+			c.rowClass[i][b.openRow] |= class
+		}
+	}
 
 	switch timingKind(cmd) {
 	case dram.KindACT:
@@ -621,12 +708,14 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 	case dram.KindRD, dram.KindWR:
 		if inRange(cmd.Bank) {
 			colAccess(cmd.Bank, cmd.Kind == dram.KindWR)
+			mark(cmd.Bank, classConv)
 		}
 		c.nextCol = cycle + t.TCCD
 
 	case dram.KindCOMP:
 		for i := range c.banks {
 			colAccess(i, false)
+			mark(i, classAiM)
 			if cmd.Kind == dram.KindCOMP {
 				accumulate(i)
 			} else {
@@ -638,6 +727,7 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 	case dram.KindCOMPBank, dram.KindCOLRD:
 		if inRange(cmd.Bank) {
 			colAccess(cmd.Bank, false)
+			mark(cmd.Bank, classAiM)
 			if cmd.Kind == dram.KindCOMPBank {
 				accumulate(cmd.Bank)
 			} else {
@@ -666,6 +756,7 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 	case dram.KindCOPYBKGB:
 		if inRange(cmd.Bank) {
 			colAccess(cmd.Bank, false)
+			mark(cmd.Bank, classAiM)
 		}
 		c.nextCol = cycle + t.TCCD
 		if cmd.Slot >= 0 && cmd.Slot < len(c.gbufValid) {
@@ -675,6 +766,7 @@ func (c *Checker) apply(cmd dram.Command, cycle int64) {
 	case dram.KindCOPYGBBK:
 		if inRange(cmd.Bank) {
 			colAccess(cmd.Bank, true)
+			mark(cmd.Bank, classAiM)
 		}
 		c.nextCol = cycle + t.TCCD
 
@@ -714,8 +806,9 @@ func (c *Checker) maxHorizon() int64 {
 func (c *Checker) timingClean(cmd dram.Command, cycle int64) bool {
 	for _, v := range c.Check(cmd, cycle) {
 		switch v.Rule {
-		case RuleBankState, RuleProtocol, RuleTREFI:
-			// Not functions of the issue cycle (tREFI only grows later).
+		case RuleBankState, RuleProtocol, RuleTREFI, RuleCoexistRow:
+			// Not functions of the issue cycle (tREFI only grows later;
+			// row classes depend on history, not on when cmd issues).
 		default:
 			return false
 		}

@@ -31,6 +31,14 @@ func NewSuite(cfg dram.Config, opt Options) (*Suite, error) {
 // Channel returns channel ch's checker (to install as its observer).
 func (s *Suite) Channel(ch int) *Checker { return s.checkers[ch] }
 
+// EnableCoexist turns on the mixed-traffic rules on every channel's
+// checker (see Checker.EnableCoexist).
+func (s *Suite) EnableCoexist() {
+	for _, c := range s.checkers {
+		c.EnableCoexist()
+	}
+}
+
 // Channels returns the number of per-channel checkers.
 func (s *Suite) Channels() int { return len(s.checkers) }
 

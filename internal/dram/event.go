@@ -174,6 +174,41 @@ func (ch *Channel) IssueTimed(cmd *Command, from int64) (int64, int64, error) {
 		ch.nextCol = at + t.TCCD
 		dataReady = at + t.TCCD
 
+	case KindRD, KindWR:
+		// Conventional column accesses, timing-identical to apply; the
+		// host's event executor moves the data (read view / write-through)
+		// itself, keeping this path free of data movement like every
+		// other kind.
+		b := ch.bankOrNil(cmd.Bank)
+		if b == nil {
+			return fail("bank out of range")
+		}
+		if ch.nextCol > at {
+			at = ch.nextCol
+		}
+		if b.nextCol > at {
+			at = b.nextCol
+		}
+		if b.state != BankActive {
+			if cmd.Kind == KindWR {
+				return fail("dram: write to bank with no open row")
+			}
+			return fail("dram: read from bank with no open row")
+		}
+		if cmd.Col < 0 || cmd.Col >= ch.cfg.Geometry.Cols {
+			return fail(fmt.Sprintf("dram: column %d out of range [0,%d)", cmd.Col, ch.cfg.Geometry.Cols))
+		}
+		if cmd.Kind == KindWR {
+			if cb := ch.cfg.Geometry.ColBytes(); len(cmd.Data) != cb {
+				return fail(fmt.Sprintf("dram: write data is %d bytes, column I/O is %d", len(cmd.Data), cb))
+			}
+			b.columnAccess(at, t, true)
+		} else {
+			b.columnAccess(at, t, false)
+			dataReady = at + t.TAA
+		}
+		ch.nextCol = at + t.TCCD
+
 	case KindMAC, KindBCAST, KindGWRITE, KindEWMUL, KindEWADD:
 		// Command-slot paced only, like apply.
 
@@ -193,9 +228,9 @@ func (ch *Channel) IssueTimed(cmd *Command, from int64) (int64, int64, error) {
 		dataReady = at + t.TAA
 
 	default:
-		// RD/WR/COPY_* carry functional payloads the timed path cannot
-		// honor; the host event executor never emits them (it falls back
-		// to the oracle for mixed conventional traffic).
+		// COPY_* carry functional payloads the timed path cannot honor;
+		// the host event executor never emits them (the ISR on-device
+		// ops run on the oracle).
 		return fail("command kind not supported by the timed path")
 	}
 

@@ -56,6 +56,10 @@ type Controller struct {
 	// mirrors on warm runs (the mirrors are authoritative right after
 	// its own write-back).
 	engineGen []uint64
+	// traffic, when AttachTraffic installed a conventional workload,
+	// holds the coexistence state: the workload, its reserved row
+	// region, and per-channel service bookkeeping (traffic.go).
+	traffic *trafficState
 }
 
 // NewController builds a controller and its channels.
@@ -75,6 +79,9 @@ func NewController(cfg dram.Config, opts Options) (*Controller, error) {
 	}
 	c.rows = addr.NewRowAllocator(cfg.Geometry.Rows)
 	if opts.Verify {
+		// The coexist rules stay off until AttachTraffic: without a
+		// conventional workload, plain RD/WR are the host's own (ISR
+		// scratch, byte regions) and may legally share rows with compute.
 		s, err := conformance.NewSuite(cfg, conformance.Options{Latches: opts.Latches()})
 		if err != nil {
 			return nil, err
@@ -304,6 +311,7 @@ func (c *Controller) RunMVM(p *layout.Placement, v bf16.Vector) (*Result, error)
 	res.Stats = c.Stats().Diff(before)
 	if c.obs != nil {
 		c.obs.publishRun(c.cfg, res, c.verify)
+		c.obs.publishTraffic(c.traffic)
 	}
 	return res, nil
 }
@@ -325,6 +333,10 @@ type chanIssuer interface {
 	// maybeRefresh applies the refresh policy before an operation
 	// estimated at est cycles.
 	maybeRefresh(est int64) error
+	// drainHorizon reports the latest adder-tree drain horizon over the
+	// channel's banks: the cycle from which a conventional access no
+	// longer overlaps an in-flight AiM macro-op.
+	drainHorizon() int64
 }
 
 // oracleIssuer is the stepping reference: every command goes through
@@ -344,6 +356,17 @@ func (o oracleIssuer) earliest(cmd dram.Command) int64 {
 }
 
 func (o oracleIssuer) maybeRefresh(est int64) error { return o.c.maybeRefresh(o.ch, est) }
+
+func (o oracleIssuer) drainHorizon() int64 {
+	var h int64
+	e := o.c.engines[o.ch]
+	for b := 0; b < o.c.cfg.Geometry.Banks; b++ {
+		if r := e.MAC(b).ReadyAt(); r > h {
+			h = r
+		}
+	}
+	return h
+}
 
 // issue schedules cmd at its earliest legal cycle at or after the
 // channel's clock and advances the clock to the issue cycle. The host
@@ -632,13 +655,24 @@ func (c *Controller) runChannel(ch int, p *layout.Placement, ri *runInput, v bf1
 		ev.begin(p, v)
 		// A warm rerun — same input against the same machine state —
 		// needs no walk at all: the whole run is applied as one recorded
-		// state transition (see runRecord).
-		if finish, ok := ev.tryReplayRun(out); ok {
-			return finish, ev.finishRun(true, out)
+		// state transition (see runRecord). With a conventional workload
+		// attached the run's timing depends on the traffic interleaved at
+		// the boundaries, which the run record's key cannot see, so the
+		// fast path is disabled: nothing records and nothing replays
+		// (begin left the record disarmed).
+		if c.traffic == nil {
+			if finish, ok := ev.tryReplayRun(out); ok {
+				return finish, ev.finishRun(true, out)
+			}
 		}
 		x = ev
 	} else {
 		x = oracleIssuer{c, ch}
+	}
+	if c.traffic != nil {
+		// Arbitrate conventional traffic at the schedule's refresh
+		// boundaries, on whichever core runs the schedule.
+		x = mixIssuer{c: c, ch: ch, inner: x}
 	}
 	finish, err := c.runSchedule(x, ch, p, ri, out)
 	if ev != nil {

@@ -462,6 +462,18 @@ func (x *eventExec) earliest(cmd dram.Command) int64 {
 	return at
 }
 
+// drainHorizon reports the latest adder-tree drain horizon over the
+// banks, from the event core's mirror of the MAC units.
+func (x *eventExec) drainHorizon() int64 {
+	var h int64
+	for _, r := range x.ready {
+		if r > h {
+			h = r
+		}
+	}
+	return h
+}
+
 // issue executes one schedule command on the event core: jump the clock
 // to the command's maturity boundary, apply its timing through the
 // channel's timed path, and replay its functional effect against the
@@ -475,7 +487,8 @@ func (x *eventExec) issue(cmd dram.Command) (aim.Result, error) {
 	switch kind {
 	case dram.KindGWRITE, dram.KindCOMP, dram.KindCOMPBank, dram.KindBCAST,
 		dram.KindCOLRD, dram.KindMAC, dram.KindREADRES,
-		dram.KindACT, dram.KindGACT, dram.KindPRE, dram.KindPREA, dram.KindREF:
+		dram.KindACT, dram.KindGACT, dram.KindPRE, dram.KindPREA, dram.KindREF,
+		dram.KindRD, dram.KindWR:
 	default:
 		// The MVM schedules never issue other kinds; anything else means
 		// a caller drove the event issuer outside its contract.
@@ -516,6 +529,24 @@ func (x *eventExec) issue(cmd dram.Command) (aim.Result, error) {
 
 	case dram.KindPRE:
 		x.openView[bank] = nil
+
+	case dram.KindRD:
+		// Conventional read: the data is the open-row column view, as
+		// the oracle's functional path returns (minus its copy, which
+		// the traffic service does not retain).
+		out.Data, err = x.openColumn(bank, cmd.Col)
+		if err != nil {
+			return aim.Result{}, err
+		}
+
+	case dram.KindWR:
+		// Conventional write-through to the bank cell storage. The
+		// bank's version bump invalidates functional memos keyed on the
+		// old contents — conservative and correct; the row views stay
+		// valid (row backing arrays are stable).
+		if err := x.dch.Bank(bank).WriteColumn(cmd.Col, cmd.Data); err != nil {
+			return aim.Result{}, err
+		}
 
 	case dram.KindPREA:
 		for b := range x.openView {

@@ -35,11 +35,21 @@ type hostObs struct {
 	scrubCorrected *obs.Counter
 	scrubDetected  *obs.Counter
 	scrubRefetched *obs.Counter
+
+	convReads  *obs.Counter
+	convWrites *obs.Counter
+	convBytes  *obs.Counter
+	convLat    *obs.Histogram
+	pimStall   *obs.Counter
 }
 
 // mvmCycleBuckets spans one MVM's wall time, from a DLRM-size layer on
 // many channels (~10 us) to de-optimized ladder points (~100 ms).
 var mvmCycleBuckets = obs.ExpBuckets(1024, 2, 20)
+
+// convLatBuckets spans a conventional request's latency, from an
+// uncontended row hit (~tAA) to requests queued behind a whole run.
+var convLatBuckets = obs.ExpBuckets(16, 2, 24)
 
 // newHostObs pre-registers every handle the per-run publisher touches.
 // device distinguishes the Newton controller from the ideal baseline.
@@ -78,7 +88,44 @@ func newHostObs(reg *obs.Registry, tracer *obs.Tracer, device string) *hostObs {
 		"uncorrectable words flagged by SEC-DED during scrub", dev)
 	o.scrubRefetched = reg.Counter("newton_host_scrub_refetched_total",
 		"detected words rewritten from the host's golden copy", dev)
+	o.convReads = reg.Counter("newton_host_conv_requests_total",
+		"conventional host requests serviced, by operation", dev, obs.L("op", "read"))
+	o.convWrites = reg.Counter("newton_host_conv_requests_total",
+		"conventional host requests serviced, by operation", dev, obs.L("op", "write"))
+	o.convBytes = reg.Counter("newton_host_conv_bytes_total",
+		"conventional bytes moved over the shared channels", dev)
+	o.convLat = reg.Histogram("newton_host_conv_latency_cycles",
+		"conventional request latency, arrival to completion", convLatBuckets, dev)
+	o.pimStall = reg.Counter("newton_host_pim_stall_cycles_total",
+		"cycles AiM work waited on in-run conventional service", dev)
 	return o
+}
+
+// publishTraffic lowers the attached workload's service since the last
+// publish into the registry. Like publishRun it is called on the
+// RunMVM caller's goroutine (or from ServiceArrivedTraffic) after any
+// parallel section has joined, so the per-channel high-water marks
+// need no synchronization.
+func (o *hostObs) publishTraffic(st *trafficState) {
+	if o == nil || o.reg == nil || st == nil {
+		return
+	}
+	cb := int64(st.t.ColBytes())
+	for _, ct := range st.perCh {
+		recs := ct.stream.Records()
+		for _, r := range recs[ct.pubIdx:] {
+			if r.Write {
+				o.convWrites.Inc()
+			} else {
+				o.convReads.Inc()
+			}
+			o.convLat.Observe(float64(r.Latency()))
+		}
+		o.convBytes.Add(int64(len(recs)-ct.pubIdx) * cb)
+		ct.pubIdx = len(recs)
+		o.pimStall.Add(ct.stall - ct.pubStall)
+		ct.pubStall = ct.stall
+	}
 }
 
 // publishScrub lowers one finished ECC scrub pass into the registry.

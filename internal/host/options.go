@@ -10,6 +10,7 @@ import (
 	"runtime"
 
 	"newton/internal/layout"
+	"newton/internal/mem"
 )
 
 // Options selects which of Newton's optimizations are active. The zero
@@ -72,6 +73,12 @@ type Options struct {
 	// baseline and engages automatically whenever a per-command stream
 	// consumer is attached (Trace, Verify, engine observers).
 	Oracle bool
+	// QoS selects how the shared channels are arbitrated between AiM
+	// work and an attached conventional workload (AttachTraffic). The
+	// zero value is PIM-priority: conventional requests wait for runs to
+	// finish, so a controller without traffic — or with the default
+	// policy — schedules exactly as before. Validated at AttachTraffic.
+	QoS mem.QoS
 	// Parallel controls how many channels RunMVM simulates concurrently.
 	// It is purely a simulator-speed knob: channels share no simulator
 	// state (paper §III — per-channel engines, clocks, refresh deadlines

@@ -1,0 +1,160 @@
+// Package mem models the conventional-memory side of a Newton
+// deployment: a seeded host-traffic client producing timed RD/WR
+// request streams, and the QoS policy layer that decides how those
+// requests share command bandwidth with in-flight AiM work on the same
+// channels. Newton rides a standard DRAM interface (paper §II), so in a
+// real system every channel carries both classes; the host controller
+// (internal/host) lowers this package's requests to real ACT/RD/WR/PRE
+// commands against the same banks, rows growing down from the top of
+// the row space while AiM matrices grow up (the §III-A same-row
+// restriction).
+//
+// The package is deliberately free of simulator dependencies: requests
+// are plain (arrival, bank, row, column) tuples and policies are plain
+// values, so the generator is unit-testable against hand-computed
+// row-hit rates and epoch ledgers without a DRAM model in sight.
+package mem
+
+import "fmt"
+
+// Policy selects how the shared-channel scheduler arbitrates between
+// AiM macro-operations and conventional host requests.
+type Policy int
+
+const (
+	// PIMPriority never preempts a running MVM: conventional requests
+	// wait until the accelerator goes idle (tile boundaries between
+	// runs). PIM latency is unperturbed; host bandwidth starves while
+	// MVMs are in flight.
+	PIMPriority Policy = iota
+	// MemPriority serves every arrived conventional request at each
+	// arbitration point before PIM work continues: host latency is
+	// minimized, PIM tail latency pays for it.
+	MemPriority
+	// FairSlice grants the host a configurable share of each fixed
+	// epoch's cycles; once the share is spent the channel reverts to
+	// PIM until the next epoch boundary.
+	FairSlice
+)
+
+// Policies returns every policy in a fixed sweep order.
+func Policies() []Policy { return []Policy{PIMPriority, MemPriority, FairSlice} }
+
+// String implements fmt.Stringer with stable names used in reports.
+func (p Policy) String() string {
+	switch p {
+	case PIMPriority:
+		return "pim-priority"
+	case MemPriority:
+		return "mem-priority"
+	case FairSlice:
+		return "fair-slice"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a policy's String form back to its value.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("mem: unknown policy %q (want pim-priority, mem-priority or fair-slice)", s)
+}
+
+// DefaultEpochCycles is the FairSlice epoch when QoS.EpochCycles is
+// zero: long enough that a slice admits whole row bursts, short against
+// tREFI so starvation windows stay bounded.
+const DefaultEpochCycles int64 = 8192
+
+// DefaultHostShare is the FairSlice host fraction when QoS.HostShare is
+// zero.
+const DefaultHostShare = 0.5
+
+// QoS configures the arbitration policy of a shared channel. The zero
+// value is PIMPriority — conventional traffic never perturbs a run —
+// matching the behavior of a controller with no traffic attached.
+type QoS struct {
+	// Policy selects the arbitration discipline.
+	Policy Policy
+	// EpochCycles is the FairSlice epoch length in command-clock
+	// cycles. Zero means DefaultEpochCycles.
+	EpochCycles int64
+	// HostShare is the fraction of each FairSlice epoch the host class
+	// may consume, in (0, 1]. Zero means DefaultHostShare.
+	HostShare float64
+}
+
+// Epoch returns the effective FairSlice epoch length.
+func (q QoS) Epoch() int64 {
+	if q.EpochCycles == 0 {
+		return DefaultEpochCycles
+	}
+	return q.EpochCycles
+}
+
+// Share returns the effective FairSlice host share.
+func (q QoS) Share() float64 {
+	if q.HostShare == 0 {
+		return DefaultHostShare
+	}
+	return q.HostShare
+}
+
+// Validate checks the policy selector and the FairSlice parameters.
+func (q QoS) Validate() error {
+	switch q.Policy {
+	case PIMPriority, MemPriority, FairSlice:
+	default:
+		return fmt.Errorf("mem: unknown policy %d", int(q.Policy))
+	}
+	if q.EpochCycles < 0 {
+		return fmt.Errorf("mem: epoch of %d cycles", q.EpochCycles)
+	}
+	if q.HostShare < 0 || q.HostShare > 1 {
+		return fmt.Errorf("mem: host share %v outside [0, 1]", q.HostShare)
+	}
+	return nil
+}
+
+// SliceBudget is FairSlice's per-channel ledger: the current epoch's
+// index and how many of its host-eligible cycles are spent. The ledger
+// is keyed on absolute cycle, so channels that idle across epoch
+// boundaries start the next epoch fresh without bookkeeping in between.
+type SliceBudget struct {
+	epoch  int64
+	budget int64
+	idx    int64
+	used   int64
+}
+
+// NewSliceBudget returns a ledger granting share × epochCycles host
+// cycles per epoch (at least one, so a positive share never rounds to
+// permanent starvation).
+func NewSliceBudget(epochCycles int64, share float64) *SliceBudget {
+	b := int64(share * float64(epochCycles))
+	if b < 1 {
+		b = 1
+	}
+	return &SliceBudget{epoch: epochCycles, budget: b, idx: -1}
+}
+
+// Allow reports whether the host class may start a request at cycle
+// now, rolling the ledger into now's epoch first.
+func (s *SliceBudget) Allow(now int64) bool {
+	if idx := now / s.epoch; idx != s.idx {
+		s.idx = idx
+		s.used = 0
+	}
+	return s.used < s.budget
+}
+
+// Charge spends cycles from the current epoch's budget.
+func (s *SliceBudget) Charge(cycles int64) { s.used += cycles }
+
+// Used returns the cycles charged against the current epoch.
+func (s *SliceBudget) Used() int64 { return s.used }
+
+// Budget returns the per-epoch host-cycle grant.
+func (s *SliceBudget) Budget() int64 { return s.budget }

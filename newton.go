@@ -28,6 +28,7 @@ import (
 	"newton/internal/dram"
 	"newton/internal/fault"
 	"newton/internal/host"
+	"newton/internal/mem"
 	"newton/internal/model"
 )
 
@@ -89,6 +90,10 @@ type Config struct {
 	// Fault configures the fault-injection and reliability subsystem
 	// (fault.go). The zero value disables it entirely.
 	Fault FaultConfig
+	// Coexist attaches a conventional host-traffic workload and a QoS
+	// policy to the system's shared channels (coexist.go). Nil means no
+	// traffic: the channels carry AiM work only, exactly as before.
+	Coexist *CoexistConfig
 	// Verify attaches the independent conformance checker
 	// (internal/conformance) to every channel's command stream; any
 	// timing or protocol violation fails the run with a "verify:" error.
@@ -132,6 +137,8 @@ func (c Config) dramConfig() (dram.Config, error) {
 }
 
 // hostOptions lowers the optimization set to the controller's options.
+// The QoS selector is lowered separately (lowerCoexist) because it is
+// validated against the whole coexistence configuration.
 func (c Config) hostOptions() host.Options {
 	return host.Options{
 		GangedCompute:      c.Opts.GangedCompute,
@@ -214,11 +221,25 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := host.NewController(dcfg, cfg.hostOptions())
+	opts := cfg.hostOptions()
+	var tcfg mem.TrafficConfig
+	if cfg.Coexist != nil {
+		var qos mem.QoS
+		if tcfg, qos, err = cfg.lowerCoexist(); err != nil {
+			return nil, err
+		}
+		opts.QoS = qos
+	}
+	ctrl, err := host.NewController(dcfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{cfg: cfg, dcfg: dcfg, ctrl: ctrl}
+	if cfg.Coexist != nil {
+		if err := s.attachCoexist(tcfg); err != nil {
+			return nil, err
+		}
+	}
 	s.setupFaults()
 	return s, nil
 }

@@ -5,24 +5,24 @@
 #   2. newton-bench -perf: measure serial-vs-parallel and event-vs-
 #      oracle throughput (ns/op, allocs/op, simulated cycles per
 #      wall-second, speedups, bit-identity, conformance verdict) into
-#      BENCH_PR9.json;
+#      BENCH_PR10.json;
 #   3. newton-bench -checkperf: validate the written report against the
-#      newton-bench-perf/v5 schema (hard sim-cycles/wall-second floors,
-#      speedup >= 1.0, oracle byte-identity), gated against the PR7
-#      stepping-core baseline when it is present (>10% serial
-#      throughput drop fails).
+#      newton-bench-perf/v6 schema (hard sim-cycles/wall-second floors,
+#      speedup >= 1.0, oracle byte-identity, QoS coexistence policy
+#      ordering), gated against the PR9 baseline when it is present
+#      (>10% serial throughput drop fails).
 #
 # Environment knobs:
-#   BENCH_OUT      report path            (default BENCH_PR9.json)
-#   BENCH_BASELINE baseline report        (default BENCH_PR7.json if present)
+#   BENCH_OUT      report path            (default BENCH_PR10.json)
+#   BENCH_BASELINE baseline report        (default BENCH_PR9.json if present)
 #   BENCH_CHANNELS perf-mode channels     (default 24, the paper config)
 #   BENCH_SMOKE=0  skip step 1 (perf report only)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR9.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 CHANNELS="${BENCH_CHANNELS:-24}"
-BASELINE="${BENCH_BASELINE:-BENCH_PR7.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_PR9.json}"
 
 if [ "${BENCH_SMOKE:-1}" != "0" ]; then
   echo "== benchmark smoke: go test -run=NONE -bench=. -benchtime=1x"
